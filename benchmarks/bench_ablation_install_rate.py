@@ -1,0 +1,54 @@
+"""Ablation — choosing the controller's install rate R (§5.2, §6.1).
+
+"The service rate for the queue is R, the maximum rate at which the
+OpenFlow controller can install rules at the physical switch without
+insertion failure ... We will investigate how to choose the proper
+value of R."
+
+Sweep R around the Pica8 lossless insertion rate (200/s) under a flood:
+
+* R below 200 is safe but under-uses the physical network — fewer flows
+  get physical paths (more ride the overlay);
+* R above 200 drives the OFA into its Fig. 9 loss region: FlowMods
+  silently fail — and client flows that were admitted to physical paths
+  get blackholed by their missing rules, so overshooting R actively
+  *hurts* the very traffic it was meant to serve.
+"""
+
+from repro.metrics.plot import sparkline
+from repro.testbed.experiments import install_rate_run
+from repro.testbed.report import format_table
+
+RATES = (50, 100, 200, 400, 800)
+
+
+def test_ablation_install_rate_choice(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: [install_rate_run(rate) for rate in RATES], rounds=1, iterations=1
+    )
+    lines = [
+        format_table(
+            ["R (rules/s)", "client failure", "failed installs", "flows on physical"],
+            [[r.install_rate, r.client_failure, r.install_failures, r.physical_flows]
+             for r in results],
+            title="Ablation — controller install rate R (Pica8 lossless = 200/s)",
+        ),
+        "",
+        "flows on physical : " + sparkline([r.physical_flows for r in results]),
+        "failed installs   : " + sparkline([r.install_failures for r in results]),
+    ]
+    emit("ablation_install_rate", "\n".join(lines))
+
+    by_rate = {r.install_rate: r for r in results}
+    # At or below the lossless rate: fully protected, (essentially) no
+    # failed installs.  (A couple of jitter-edge failures can occur at
+    # exactly the lossless boundary.)
+    for rate in (50, 100, 200):
+        assert by_rate[rate].client_failure < 0.05
+        assert by_rate[rate].install_failures <= 5
+    # Overshooting R fails installs *and* blackholes admitted client
+    # flows — the paper's reason for pinning R at the lossless rate.
+    assert by_rate[800].install_failures > 100
+    assert by_rate[800].client_failure > by_rate[200].client_failure + 0.1
+    # More R -> more flows served on physical paths.
+    assert by_rate[200].physical_flows > by_rate[50].physical_flows

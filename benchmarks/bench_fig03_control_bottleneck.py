@@ -1,0 +1,43 @@
+"""Fig. 3 — client flow failure fraction vs. attacking flow rate.
+
+Paper: all three switches suffer rising client-flow failure as the
+attack rate grows from 100 to 3800 flows/sec; the two hardware switches
+(Pica8 worst, HP Procurve better) fail far more than Open vSwitch, whose
+software agent has an order of magnitude more control-path capacity.
+"""
+
+from repro.metrics.plot import sparkline
+from repro.testbed.experiments import FIG3_ATTACK_RATES, FIG3_PROFILES, fig3_series
+from repro.testbed.report import format_table
+
+
+def test_fig3_failure_vs_attack_rate(benchmark, emit):
+    series = benchmark.pedantic(
+        lambda: fig3_series(duration=10.0), rounds=1, iterations=1
+    )
+    rows = []
+    for rate_index, rate in enumerate(FIG3_ATTACK_RATES):
+        row = [rate]
+        for profile in FIG3_PROFILES:
+            row.append(series[profile.name][rate_index][1])
+        rows.append(row)
+    lines = [
+        format_table(
+            ["attack (flows/s)"] + [p.name for p in FIG3_PROFILES],
+            rows,
+            title="Fig. 3 — client flow failure fraction (client at 100 flows/s)",
+        ),
+        "",
+    ]
+    for profile in FIG3_PROFILES:
+        curve = [v for _, v in series[profile.name]]
+        lines.append(f"{profile.name:<28s} {sparkline(curve)}")
+    emit("fig03", "\n".join(lines))
+    # Shape assertions (the paper's qualitative claims).
+    for profile in FIG3_PROFILES:
+        curve = [v for _, v in series[profile.name]]
+        assert curve[-1] >= curve[0]
+    final = {p.name: series[p.name][-1][1] for p in FIG3_PROFILES}
+    assert final["Pica8 Pronto 3780"] > 0.9
+    assert final["HP Procurve 6600"] > 0.8
+    assert final["Open vSwitch (Xeon E5-1650)"] < 0.1

@@ -1,0 +1,39 @@
+"""Fig. 4 — control-path profiling at the Pica8 switch.
+
+Paper: the Packet-In message rate, the flow-rule insertion rate and the
+successful flow rate are *identical* across the new-flow-rate sweep,
+identifying the OFA's Packet-In generation as the control-path
+bottleneck (all three clamp at its capacity).
+"""
+
+from repro.testbed.experiments import fig4_point
+from repro.testbed.report import format_table
+
+NEW_FLOW_RATES = (50, 100, 150, 200, 300, 500, 800)
+
+
+def test_fig4_control_path_profiling(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: [fig4_point(rate) for rate in NEW_FLOW_RATES], rounds=1, iterations=1
+    )
+    emit(
+        "fig04",
+        format_table(
+            ["new flows/s", "Packet-In/s", "rule inserts/s", "successful flows/s"],
+            [
+                [p.new_flow_rate, p.packet_in_rate, p.rule_insertion_rate, p.successful_flow_rate]
+                for p in points
+            ],
+            title="Fig. 4 — SDN switch control path profiling (Pica8)",
+        ),
+    )
+    for point in points:
+        # The three observed rates are identical (within sampling noise)...
+        assert abs(point.packet_in_rate - point.rule_insertion_rate) <= 0.05 * max(
+            1.0, point.packet_in_rate
+        )
+        assert abs(point.packet_in_rate - point.successful_flow_rate) <= 0.08 * max(
+            1.0, point.packet_in_rate
+        )
+        # ... and never exceed the OFA's Packet-In capacity.
+        assert point.packet_in_rate <= 200 * 1.05

@@ -1,0 +1,46 @@
+"""Fig. 9 — maximum flow-rule insertion rate at the Pica8 switch.
+
+Paper: insertions are lossless up to 200 rules/s; beyond that some rule
+requests are not installed, and the successful insertion rate flattens
+out at about 1000 rules/s.
+"""
+
+from repro.metrics.plot import ascii_plot
+from repro.testbed.experiments import fig9_point
+from repro.testbed.report import format_table
+
+ATTEMPTED_RATES = (50, 100, 200, 400, 800, 1500, 2500, 4000)
+
+
+def test_fig9_max_insertion_rate(benchmark, emit):
+    # duration chosen so the 8192-entry TCAM never fills within a run
+    # (10 s at the ~1000/s plateau would; the paper measures insertion
+    # throughput, not table size).
+    successful = benchmark.pedantic(
+        lambda: [fig9_point(rate, duration=6.0) for rate in ATTEMPTED_RATES],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig09",
+        format_table(
+            ["attempted rules/s", "successful rules/s"],
+            list(zip(ATTEMPTED_RATES, successful)),
+            title="Fig. 9 — flow rule insertion rate (Pica8)",
+        )
+        + "\n\n"
+        + ascii_plot(
+            list(zip(ATTEMPTED_RATES, successful)),
+            x_label="attempted rules/s",
+            y_label="successful rules/s",
+        ),
+    )
+    by_rate = dict(zip(ATTEMPTED_RATES, successful))
+    # Lossless region.
+    assert by_rate[100] > 95 and by_rate[200] > 190
+    # Lossy beyond 200.
+    assert by_rate[800] < 800 * 0.95
+    # Plateau near 1000.
+    assert 850 < by_rate[4000] < 1050
+    # Monotone non-decreasing.
+    assert successful == sorted(successful)

@@ -1,0 +1,35 @@
+"""Fig. 10 — interaction of the data path and the control path (Pica8).
+
+Paper: with data flows at 500/1000/2000 packets/s, the data-path loss
+ratio exhibits a turning point at a rule-insertion rate of ~1300
+rules/s, beyond which loss exceeds 90% at all three data rates.
+"""
+
+from repro.testbed.experiments import fig10_point
+from repro.testbed.report import format_table
+
+INSERTION_RATES = (200, 600, 1000, 1250, 1400, 2000, 3000)
+DATA_RATES = (500, 1000, 2000)
+
+
+def test_fig10_datapath_control_interaction(benchmark, emit):
+    def run():
+        return {
+            ir: [fig10_point(ir, dr) for dr in DATA_RATES] for ir in INSERTION_RATES
+        }
+
+    losses = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "fig10",
+        format_table(
+            ["insert rules/s"] + [f"loss @ {dr} pps" for dr in DATA_RATES],
+            [[ir] + losses[ir] for ir in INSERTION_RATES],
+            title="Fig. 10 — data-path packet loss vs. rule insertion rate (Pica8)",
+        ),
+    )
+    # Negligible loss below the knee.
+    for ir in (200, 600, 1000, 1250):
+        assert all(loss < 0.05 for loss in losses[ir])
+    # >90% loss beyond the 1300/s turning point, at every data rate.
+    for ir in (1400, 2000, 3000):
+        assert all(loss > 0.9 for loss in losses[ir])

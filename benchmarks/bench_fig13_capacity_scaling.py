@@ -1,0 +1,38 @@
+"""Fig. 13 (reconstructed) — overlay capacity grows with mesh size.
+
+Section 6's preamble: "We also show the growth in the Scotch overlay's
+capacity with addition of new vswitches into the overlay."  The pooled
+Packet-In capacity of the serving vSwitches (~4000 msg/s each in our
+OVS model) is the new-flow ceiling, so successful flow rate scales
+near-linearly with the number of vSwitches until it crosses the offered
+load — versus a hard ~200 f/s without Scotch.
+"""
+
+from repro.testbed.experiments import fig13_point
+from repro.testbed.report import format_table
+
+MESH_SIZES = (1, 2, 3, 4)
+OFFERED = 20000.0
+
+
+def test_fig13_capacity_scaling(benchmark, emit):
+    rates = benchmark.pedantic(
+        lambda: {n: fig13_point(n, offered_rate=OFFERED) for n in MESH_SIZES},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "fig13",
+        format_table(
+            ["vSwitches", "successful new flows/s", "per-vSwitch"],
+            [[n, rates[n], rates[n] / n] for n in MESH_SIZES],
+            title=f"Fig. 13 — overlay control-plane capacity (offered {OFFERED:.0f} f/s)",
+        ),
+    )
+    # Strictly growing with mesh size...
+    values = [rates[n] for n in MESH_SIZES]
+    assert values == sorted(values)
+    # ... near-linearly (each added vSwitch contributes most of its agent).
+    assert rates[4] > 2.5 * rates[1]
+    # Far above the no-overlay ceiling (~200 f/s = the OFA capacity).
+    assert rates[1] > 5 * 200

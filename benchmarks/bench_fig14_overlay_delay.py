@@ -1,0 +1,40 @@
+"""Fig. 14 (reconstructed) — extra delay of overlay relay.
+
+Section 6's preamble: "We further investigate the extra delay incurred
+by the Scotch overlay traffic relay."  Established flows are measured on
+the direct physical path and on the overlay path (three tunnels:
+switch -> entry mesh vSwitch -> exit mesh vSwitch -> delivery); the
+overlay adds a small-constant stretch, not an order of magnitude.
+"""
+
+from repro.metrics.stats import cdf_points
+from repro.testbed.experiments import fig14_run
+from repro.testbed.report import format_table
+
+
+def test_fig14_overlay_relay_delay(benchmark, emit):
+    result = benchmark.pedantic(lambda: fig14_run(), rounds=1, iterations=1)
+    summary = result.summary()
+    lines = [
+        format_table(
+            ["path", "mean delay (ms)", "p99 delay (ms)", "samples"],
+            [
+                ["direct (physical)", summary["direct_mean"] * 1e3,
+                 summary["direct_p99"] * 1e3, len(result.direct_delays)],
+                ["overlay (3 tunnels)", summary["overlay_mean"] * 1e3,
+                 summary["overlay_p99"] * 1e3, len(result.overlay_delays)],
+            ],
+            title="Fig. 14 — established-flow one-way delay",
+        ),
+        f"mean stretch: {summary['stretch_mean']:.2f}x",
+        "",
+        "overlay delay CDF (ms, fraction):",
+    ]
+    for value, fraction in cdf_points(result.overlay_delays, points=10):
+        lines.append(f"  {value * 1e3:8.3f}  {fraction:.2f}")
+    emit("fig14", "\n".join(lines))
+
+    assert len(result.direct_delays) > 100
+    assert len(result.overlay_delays) > 100
+    assert summary["overlay_mean"] > summary["direct_mean"]
+    assert summary["stretch_mean"] < 20

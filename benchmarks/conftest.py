@@ -1,0 +1,26 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark (wall-clock of the simulation is
+the benchmarked quantity) and emits the figure's rows both to stdout
+(visible with ``pytest -s``) and to ``benchmarks/output/<name>.txt``.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture
+def emit():
+    """Print a figure's table and persist it under benchmarks/output/."""
+
+    def _emit(name: str, text: str) -> None:
+        print("\n" + text)
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,29 @@
+"""Scotch (CoNEXT 2014) reproduction: elastic SDN control-plane scaling
+with a vSwitch overlay.
+
+The most useful entry points:
+
+* :func:`repro.testbed.build_deployment` — the full Fig. 5 deployment
+  (fabric + overlay + ScotchApp), ready to drive with traffic;
+* :func:`repro.testbed.build_single_switch` — the Fig. 2 single-switch
+  testbed used by the §3 measurements;
+* :mod:`repro.testbed.experiments` — one runner per reproduced figure;
+* :class:`repro.core.ScotchApp` / :class:`repro.core.ScotchOverlay` —
+  the paper's contribution, usable on any topology you build with
+  :class:`repro.net.Network`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ScotchApp, ScotchConfig, ScotchOverlay
+from repro.net import Network
+from repro.sim import Simulator
+
+__all__ = [
+    "Network",
+    "ScotchApp",
+    "ScotchConfig",
+    "ScotchOverlay",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""The central OpenFlow controller."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.openflow.messages import (
+    ADD,
+    BarrierReply,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+    PortStatsRequest,
+)
+from repro.switch.match import Match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.base_app import BaseApp
+    from repro.net.topology import Network
+    from repro.sim.engine import Simulator
+    from repro.switch.switch import OpenFlowSwitch
+
+
+class DatapathHandle:
+    """The controller's view of one connected switch."""
+
+    def __init__(self, switch: "OpenFlowSwitch"):
+        self.switch = switch
+        self.dpid = switch.name
+        self.channel = switch.channel
+        self.profile = switch.profile
+
+    def send(self, message: Message) -> None:
+        self.channel.send_to_switch(message)
+
+
+class OpenFlowController:
+    """Event dispatcher + convenience senders, in the Ryu mould."""
+
+    def __init__(self, sim: "Simulator", network: "Network"):
+        self.sim = sim
+        self.network = network
+        self.datapaths: Dict[str, DatapathHandle] = {}
+        self.apps: List["BaseApp"] = []
+        self.packet_ins_received = 0
+        self.stats_replies_received = 0
+        self.flow_removed_received = 0
+        self.errors_received = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_switch(self, switch: "OpenFlowSwitch") -> DatapathHandle:
+        if switch.name in self.datapaths:
+            raise ValueError(f"switch {switch.name!r} already registered")
+        handle = DatapathHandle(switch)
+        switch.channel.controller_sink = self._receive
+        self.datapaths[switch.name] = handle
+        return handle
+
+    def add_app(self, app: "BaseApp") -> "BaseApp":
+        app.bind(self)
+        self.apps.append(app)
+        app.start()
+        return app
+
+    def datapath(self, dpid: str) -> DatapathHandle:
+        return self.datapaths[dpid]
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+    def _receive(self, dpid: str, message: Message) -> None:
+        if isinstance(message, PacketIn):
+            self.packet_ins_received += 1
+            for app in self.apps:
+                app.packet_in(dpid, message)
+        elif isinstance(message, FlowStatsReply):
+            self.stats_replies_received += 1
+            for app in self.apps:
+                app.stats_reply(dpid, message)
+        elif isinstance(message, FlowRemoved):
+            self.flow_removed_received += 1
+            for app in self.apps:
+                app.flow_removed(dpid, message)
+        elif isinstance(message, ErrorMessage):
+            self.errors_received += 1
+            for app in self.apps:
+                app.error(dpid, message)
+        elif isinstance(message, PortStatsReply):
+            for app in self.apps:
+                app.port_stats_reply(dpid, message)
+        elif isinstance(message, EchoReply):
+            for app in self.apps:
+                app.echo_reply(dpid, message)
+        elif isinstance(message, BarrierReply):
+            for app in self.apps:
+                app.barrier_reply(dpid, message)
+        else:
+            raise TypeError(f"controller cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------------
+    # Outbound helpers
+    # ------------------------------------------------------------------
+    def flow_mod(
+        self,
+        dpid: str,
+        match: Match,
+        priority: int,
+        actions: list,
+        table_id: int = 0,
+        command: str = ADD,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: Optional[object] = None,
+    ) -> FlowMod:
+        message = FlowMod(
+            match=match,
+            priority=priority,
+            actions=actions,
+            table_id=table_id,
+            command=command,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            cookie=cookie,
+        )
+        self.datapaths[dpid].send(message)
+        return message
+
+    def group_mod(
+        self, dpid: str, group_id: int, buckets: list, command: str = ADD, group_type: str = "select"
+    ) -> GroupMod:
+        message = GroupMod(
+            group_id=group_id, group_type=group_type, buckets=buckets, command=command
+        )
+        self.datapaths[dpid].send(message)
+        return message
+
+    def packet_out(self, dpid: str, packet, actions: list, in_port: int = 0) -> PacketOut:
+        message = PacketOut(packet=packet, actions=actions, in_port=in_port)
+        self.datapaths[dpid].send(message)
+        return message
+
+    def request_flow_stats(
+        self, dpid: str, table_id: Optional[int] = None, match: Optional[Match] = None
+    ) -> FlowStatsRequest:
+        message = FlowStatsRequest(table_id=table_id, match=match)
+        self.datapaths[dpid].send(message)
+        return message
+
+    def request_port_stats(self, dpid: str, port_no=None) -> PortStatsRequest:
+        message = PortStatsRequest(port_no=port_no)
+        self.datapaths[dpid].send(message)
+        return message
+
+    def echo(self, dpid: str) -> EchoRequest:
+        message = EchoRequest()
+        self.datapaths[dpid].send(message)
+        return message

@@ -1,0 +1,52 @@
+"""Periodic flow-stats polling (paper §5.3).
+
+"The controller sends the flow-stats query messages to the vswitches,
+and collects the flow stats including packet counts."  Replies are
+dispatched through the normal controller event path, so any app (the
+Scotch migrator) sees them via ``stats_reply``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import OpenFlowController
+
+
+class StatsPoller:
+    """Polls a (dynamic) set of datapaths at a fixed interval."""
+
+    def __init__(
+        self,
+        controller: "OpenFlowController",
+        targets: Callable[[], Iterable[str]],
+        interval: float = 1.0,
+        table_id: Optional[int] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.controller = controller
+        self.targets = targets
+        self.interval = interval
+        self.table_id = table_id
+        self.polls_sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.controller.sim.schedule(self.interval, self._tick, daemon=True)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for dpid in self.targets():
+            if dpid in self.controller.datapaths:
+                self.controller.request_flow_stats(dpid, table_id=self.table_id)
+                self.polls_sent += 1
+        self.controller.sim.schedule(self.interval, self._tick, daemon=True)

@@ -1,0 +1,295 @@
+"""Baseline schemes Scotch is compared against.
+
+* :class:`DropPolicingApp` — reactive forwarding with the controller-side
+  rate-R install budget and ingress-port fair queueing, but **no
+  overlay**: the over-threshold excess is simply dropped.  Isolates the
+  value of the queueing discipline from the value of the overlay.
+* :class:`DedicatedPortApp` — §4's strawman: when congested, the switch
+  deflects table misses out one data-plane port to a collector that
+  relays them to the controller.  Packet-Ins no longer die at the OFA,
+  but flows still need physical rules installed at rate R, and the
+  original ingress port is lost (no per-port fairness) — "using a
+  dedicated physical port does not fully solve the problem".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.controller.base_app import BaseApp
+from repro.controller.flow_info_db import (
+    ROUTE_DROPPED,
+    ROUTE_PHYSICAL,
+    FlowInfoDatabase,
+)
+from repro.controller.routing import Router
+from repro.core.config import (
+    MAIN_TABLE,
+    PRIORITY_PHYSICAL_FLOW,
+    PRIORITY_SCOTCH_DEFAULT,
+    ScotchConfig,
+)
+from repro.core.flow_manager import DROPPED, InstallJob, InstallScheduler, PathInstaller, PendingFlow
+from repro.core.monitor import CongestionMonitor
+from repro.openflow.messages import DELETE, FlowMod
+from repro.switch.actions import Output
+from repro.switch.match import Match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.openflow.messages import PacketIn
+
+
+class _RateLimitedReactiveApp(BaseApp):
+    """Shared core: Packet-In intake -> per-switch scheduler -> physical
+    install at rate R.  Subclasses decide what happens to the excess."""
+
+    def __init__(self, managed_switches, config: Optional[ScotchConfig] = None):
+        super().__init__()
+        self.managed_switches = list(managed_switches)
+        self.config = config or ScotchConfig()
+        self.flow_db = FlowInfoDatabase()
+        self.schedulers: Dict[str, InstallScheduler] = {}
+        self.router: Optional[Router] = None
+        self.installer: Optional[PathInstaller] = None
+        self.duplicate_packet_ins = 0
+        self.unroutable = 0
+
+    def start(self) -> None:
+        self.router = Router(self.network)
+        self.installer = PathInstaller(self.controller, self.schedulers)
+        for name in self.managed_switches:
+            switch = self.network[name]
+            rate = self.config.install_rate or switch.profile.install_lossless_rate
+            self.schedulers[name] = InstallScheduler(
+                self.sim,
+                self.controller,
+                name,
+                rate,
+                self.config,
+                on_admit=self._admit_physical,
+                on_overlay=self._handle_excess,
+            )
+
+    # -- intake -----------------------------------------------------------
+    def packet_in(self, dpid: str, message: "PacketIn") -> None:
+        packet = message.packet
+        if packet is None:
+            return
+        origin, port = self.attribute(dpid, message)
+        if origin is None:
+            return
+        key = packet.flow_key
+        if key in self.flow_db:
+            self.duplicate_packet_ins += 1
+            return
+        self.flow_db.record(key, origin, port, self.sim.now)
+        pending = PendingFlow(key=key, first_hop=origin, ingress_port=port, packet=packet)
+        if self.schedulers[origin].submit_new_flow(pending) == DROPPED:
+            self.flow_db.set_route(key, ROUTE_DROPPED)
+
+    def attribute(self, dpid: str, message: "PacketIn"):
+        """(origin switch, ingress port) for a Packet-In, or (None, _)."""
+        if dpid in self.schedulers:
+            return dpid, message.in_port
+        return None, 0
+
+    # -- admission ---------------------------------------------------------
+    def _admit_physical(self, pending: PendingFlow) -> None:
+        key = pending.key
+        host = self.router.host_for(key.dst_ip)
+        path = self.router.path_to(pending.first_hop, key.dst_ip) if host else None
+        if path is None:
+            self.unroutable += 1
+            self.flow_db.set_route(key, ROUTE_DROPPED)
+            return
+        rules = self.router.rules_for_path(path, key)
+        if not rules:
+            self.flow_db.set_route(key, ROUTE_PHYSICAL)
+            return
+        # Make-before-break: downstream first, first-hop rule last, then
+        # the buffered packet (same ordering as the Scotch app).
+        first_hop_rule = rules[-1]
+
+        def finish() -> None:
+            self.controller.flow_mod(
+                first_hop_rule.dpid,
+                first_hop_rule.match,
+                PRIORITY_PHYSICAL_FLOW,
+                first_hop_rule.actions,
+                idle_timeout=self.config.flow_idle_timeout,
+            )
+            if pending.packet is not None:
+                self.controller.packet_out(
+                    first_hop_rule.dpid,
+                    pending.packet,
+                    [first_hop_rule.actions[0]],
+                    in_port=pending.ingress_port,
+                )
+
+        downstream = rules[:-1]
+        if downstream:
+            self.installer.install(
+                [
+                    InstallJob(
+                        rule.dpid,
+                        FlowMod(
+                            match=rule.match,
+                            priority=PRIORITY_PHYSICAL_FLOW,
+                            actions=rule.actions,
+                            idle_timeout=self.config.flow_idle_timeout,
+                        ),
+                    )
+                    for rule in downstream
+                ],
+                on_complete=finish,
+            )
+        else:
+            finish()
+        self.flow_db.set_route(key, ROUTE_PHYSICAL)
+
+    def _handle_excess(self, pending: PendingFlow) -> None:
+        raise NotImplementedError
+
+
+class ProactiveApp(BaseApp):
+    """§1's other alternative: "the load on the control path can be
+    reduced by limiting reactive flows and pre-installing rules for all
+    expected traffic.  However, this comes at the expense of fine-grained
+    policy control, visibility, and flexibility."
+
+    The operator pre-installs one coarse destination rule per host at
+    every switch (offline, like tunnel configuration).  No flow ever
+    reaches the controller: floods cannot hurt the control path — and
+    the controller is blind (``flows_observed`` stays 0), which is
+    exactly the trade-off Scotch avoids.
+    """
+
+    def __init__(self, managed_switches):
+        super().__init__()
+        self.managed_switches = list(managed_switches)
+        self.flows_observed = 0
+        self.rules_preinstalled = 0
+
+    def start(self) -> None:
+        from repro.controller.routing import Router
+        from repro.net.host import Host
+        from repro.switch.switch import OpenFlowSwitch
+
+        router = Router(self.network)
+        hosts = [n for n in self.network.nodes.values() if isinstance(n, Host)]
+        for name in self.managed_switches:
+            switch = self.network[name]
+            for host in hosts:
+                path = router.path_to(name, host.ip)
+                if path is None or len(path) < 2:
+                    continue
+                out_port = self.network.port_between(name, path[1])
+                switch.install_static(
+                    Match(dst_ip=host.ip),
+                    priority=PRIORITY_PHYSICAL_FLOW,
+                    actions=[Output(out_port)],
+                )
+                self.rules_preinstalled += 1
+
+    def packet_in(self, dpid: str, message: "PacketIn") -> None:
+        self.flows_observed += 1  # should never happen in pure proactive mode
+
+
+class DropPolicingApp(_RateLimitedReactiveApp):
+    """Fair queueing + rate-R installs; over-threshold flows are dropped."""
+
+    def __init__(self, managed_switches, config: Optional[ScotchConfig] = None):
+        super().__init__(managed_switches, config)
+        self.policed_drops = 0
+
+    def start(self) -> None:
+        super().start()
+        # Enable the drain so the overlay threshold acts as a policer.
+        for scheduler in self.schedulers.values():
+            scheduler.set_overlay_enabled(True)
+
+    def _handle_excess(self, pending: PendingFlow) -> None:
+        self.policed_drops += 1
+        self.flow_db.set_route(pending.key, ROUTE_DROPPED)
+
+
+class DedicatedPortApp(_RateLimitedReactiveApp):
+    """§4's dedicated-port deflection baseline.
+
+    ``collectors`` maps each managed physical switch to the collector
+    vSwitch wired to its dedicated port.  On congestion the switch's
+    table misses are deflected (default rules) out that port; the
+    collector punts them to the controller with its own fast agent.
+    """
+
+    def __init__(
+        self,
+        managed_switches,
+        collectors: Dict[str, str],
+        config: Optional[ScotchConfig] = None,
+    ):
+        super().__init__(managed_switches, config)
+        self.collectors = dict(collectors)
+        self._origin_of_collector = {v: k for k, v in collectors.items()}
+        self.monitor: Optional[CongestionMonitor] = None
+        self.deflections_active: set = set()
+
+    def start(self) -> None:
+        super().start()
+        self.monitor = CongestionMonitor(
+            self.sim, self.config, self._activate_deflection, self._deactivate_deflection
+        )
+        for name in self.managed_switches:
+            self.monitor.watch(name, self.network[name].profile)
+        self.monitor.start()
+
+    def attribute(self, dpid: str, message: "PacketIn"):
+        origin = self._origin_of_collector.get(dpid)
+        if origin is not None:
+            # The deflected packet lost its ingress-port context: all
+            # flows share one queue (port 0) — no per-port fairness.
+            return origin, 0
+        if dpid in self.schedulers:
+            return dpid, message.in_port
+        return None, 0
+
+    def packet_in(self, dpid: str, message: "PacketIn") -> None:
+        origin, _ = self.attribute(dpid, message)
+        if origin is not None and message.packet is not None:
+            self.monitor.observe_new_flow(origin)
+        super().packet_in(dpid, message)
+
+    def _handle_excess(self, pending: PendingFlow) -> None:
+        # No overlay to absorb the excess; it waits its turn or gets
+        # dropped by the threshold — keep it queued by re-submitting is
+        # pointless, so it is dropped (the paper's point: the rule
+        # insertion rate R is the hard ceiling).
+        self.flow_db.set_route(pending.key, ROUTE_DROPPED)
+
+    # -- deflection rules ---------------------------------------------------
+    def _deflection_mods(self, switch_name: str, command: str):
+        switch = self.network[switch_name]
+        out_port = self.network.port_between(switch_name, self.collectors[switch_name])
+        for port_no in switch.ports:
+            yield FlowMod(
+                match=Match(in_port=port_no),
+                priority=PRIORITY_SCOTCH_DEFAULT,
+                actions=[Output(out_port)],
+                table_id=MAIN_TABLE,
+                command=command,
+            )
+
+    def _activate_deflection(self, switch_name: str) -> None:
+        self.deflections_active.add(switch_name)
+        handle = self.controller.datapaths[switch_name]
+        for _ in range(1 + self.config.activation_resends):
+            for mod in self._deflection_mods(switch_name, command="add"):
+                handle.send(mod)
+        self.schedulers[switch_name].set_overlay_enabled(True)
+
+    def _deactivate_deflection(self, switch_name: str) -> None:
+        self.deflections_active.discard(switch_name)
+        handle = self.controller.datapaths[switch_name]
+        for mod in self._deflection_mods(switch_name, command=DELETE):
+            handle.send(mod)
+        self.schedulers[switch_name].set_overlay_enabled(False)

@@ -1,0 +1,122 @@
+"""Scotch configuration: every tunable with its paper provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# ----------------------------------------------------------------------
+# Pipeline layout at Scotch-enabled physical switches
+# ----------------------------------------------------------------------
+#: Main table (reactive red rules, static tunnel rules, Scotch defaults).
+MAIN_TABLE = 0
+#: Table where tunnel-decapsulated packets continue at vSwitches.
+VSWITCH_FLOW_TABLE = 1
+#: Load-balancing table at the physical switch (§5.2: "two flow tables
+#: are needed at the physical switch: the first ... sets the ingress
+#: port; the second ... load balancing").
+LB_TABLE = 2
+
+# ----------------------------------------------------------------------
+# Rule priorities (paper Fig. 8: red physical rules beat green overlay
+# rules; static tunnel label-switching beats everything reactive).
+# ----------------------------------------------------------------------
+PRIORITY_TUNNEL = 3000
+PRIORITY_PHYSICAL_FLOW = 100  # red per-flow rules
+PRIORITY_OVERLAY_PIN = 20  # §5.5 withdrawal: keep residual flows on overlay
+PRIORITY_SCOTCH_DEFAULT = 10  # green shared default-to-overlay rules
+PRIORITY_LB = 1
+
+#: Group id used for the Scotch select group at each physical switch.
+SCOTCH_GROUP_ID = 1
+
+
+@dataclass
+class ScotchConfig:
+    """Tunables of the Scotch controller application."""
+
+    # -- congestion detection (§4.2, §5.5) ---------------------------------
+    #: Activate the overlay when a switch's observed new-flow (Packet-In)
+    #: rate reaches this fraction of its OFA Packet-In capacity.
+    activate_fraction: float = 0.8
+    #: Withdraw when the new-flow rate falls below this fraction ...
+    withdraw_fraction: float = 0.6
+    #: ... and stays there for this long (avoids flapping).
+    withdraw_hold: float = 3.0
+    #: Monitor evaluation period, seconds.
+    monitor_interval: float = 0.25
+    #: TABLE_FULL error rate (errors/second) that also activates the
+    #: overlay — §3.3: "the solution proposed in this paper is
+    #: applicable to the TCAM bottleneck scenario as well".
+    table_full_rate_threshold: float = 10.0
+    #: Divert a flow to the overlay (instead of installing rules) when
+    #: any path switch's *estimated* flow-table occupancy exceeds this
+    #: fraction of its TCAM capacity.  The controller predicts occupancy
+    #: from its own install history and rule timeouts, avoiding the
+    #: install-fail/blackhole cycle entirely.
+    tcam_headroom_fraction: float = 0.85
+
+    # -- controller install budget (Fig. 7, §5.2, §6.1) --------------------
+    #: Per-switch rule install rate R.  None = the switch profile's
+    #: lossless insertion rate, the paper's recommendation ("the maximum
+    #: rate at which the OpenFlow controller can install rules at the
+    #: physical switch without insertion failure").
+    install_rate: Optional[float] = None
+    #: Ingress-port queue length beyond which new flows are routed over
+    #: the overlay instead of the physical network.
+    overlay_threshold: int = 10
+    #: Queue length beyond which Packet-Ins are simply dropped.
+    drop_threshold: int = 200
+    #: Rate at which queued flows beyond the overlay threshold are set up
+    #: on the overlay, per switch (vSwitch rule installs are cheap; this
+    #: bounds controller-side work per congested switch).
+    overlay_install_rate: float = 5000.0
+
+    # -- large-flow migration (§5.3) ----------------------------------------
+    #: Packet count at which an overlay flow is declared an elephant.
+    elephant_packet_threshold: int = 200
+    #: Flow-stats polling interval toward vSwitches, seconds.
+    stats_interval: float = 1.0
+    #: Skip migrating onto switches whose pending install backlog exceeds
+    #: this ("checks the message rate of all switches on the path to make
+    #: sure their control plane is not overloaded").
+    migration_backlog_limit: int = 50
+
+    # -- rule lifetimes ------------------------------------------------------
+    #: Idle timeout for reactive per-flow rules (the paper's experiments
+    #: use 10 s rules).
+    flow_idle_timeout: float = 10.0
+    #: Idle timeout for §5.5 pin rules keeping residual flows on the overlay.
+    pin_idle_timeout: float = 10.0
+    #: A flow counts as "currently on the overlay" for §5.5 pinning if a
+    #: stats dump reported its rule this recently (seconds).
+    pin_activity_window: float = 3.0
+
+    # -- load balancing / overlay shape (§5.1) -------------------------------
+    #: How many mesh vSwitches each congested switch spreads over.
+    vswitches_per_switch: int = 2
+    #: Tunnel encapsulation for the overlay: "mpls" (default) or "gre"
+    #: (§4.1: "any of the available tunneling protocols").
+    tunnel_kind: str = "mpls"
+
+    # -- failure detection (§5.6) -------------------------------------------
+    heartbeat_interval: float = 1.0
+    #: Declare a vSwitch dead after this many missed heartbeats.
+    heartbeat_miss_limit: int = 3
+
+    #: Re-send the activation rule set this many times (the activation
+    #: FlowMods themselves cross the congested OFA; re-sends are
+    #: idempotent and make activation robust to its insertion loss).
+    activation_resends: int = 2
+    #: Spacing between activation re-sends, seconds.
+    activation_resend_gap: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.withdraw_fraction < self.activate_fraction <= 1:
+            raise ValueError("need 0 < withdraw_fraction < activate_fraction <= 1")
+        if self.overlay_threshold >= self.drop_threshold:
+            raise ValueError("overlay_threshold must be below drop_threshold")
+        if self.vswitches_per_switch < 1:
+            raise ValueError("need at least one vSwitch per switch")
+        if self.tunnel_kind not in ("mpls", "gre"):
+            raise ValueError(f"unknown tunnel kind {self.tunnel_kind!r}")

@@ -1,0 +1,300 @@
+"""Controller-side flow management (paper Fig. 7, §5.2-§5.3).
+
+Per physical switch the controller keeps:
+
+* an **admitted-flow queue** (highest priority) — concrete FlowMods for
+  flows already admitted to the physical network;
+* a **large-flow migration queue** — FlowMods that move elephants from
+  the overlay onto physical paths;
+* **per-ingress-port queues** (lowest priority) — pending new flows,
+  served round-robin so one attacked port cannot starve the others.
+  The grouping is pluggable (§5.2: "we can classify the flows into
+  different groups and enforce fair sharing of the SDN network across
+  groups", e.g. per customer): pass ``group_key`` to change how pending
+  flows map to queues.
+
+One server per switch drains these in strict priority order at rate R —
+the switch's lossless rule-insertion rate (§6.1) — so the controller
+never pushes the OFA into its insertion-loss region.
+
+Flows beyond the per-port *overlay threshold* are routed over the Scotch
+overlay instead (drained from the queue tail at ``overlay_install_rate``,
+which only costs cheap vSwitch installs); beyond the *dropping
+threshold* the Packet-Ins are discarded outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.core.config import ScotchConfig
+from repro.openflow.messages import FlowMod
+from repro.sim.queues import BoundedQueue, RoundRobinScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.controller.controller import OpenFlowController
+    from repro.net.flow import FlowKey
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+#: Disposition values returned by :meth:`InstallScheduler.submit_new_flow`.
+QUEUED = "queued"
+DROPPED = "dropped"
+
+
+@dataclass
+class PendingFlow:
+    """A new flow awaiting a routing decision."""
+
+    key: "FlowKey"
+    first_hop: str
+    ingress_port: int
+    packet: Optional["Packet"]
+    entry_vswitch: Optional[str] = None
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class InstallJob:
+    """A FlowMod destined for one switch, with a sent-notification."""
+
+    dpid: str
+    flow_mod: FlowMod
+    on_sent: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class MigrationRequest:
+    """A §5.3 large-flow migration request awaiting its service slot.
+
+    The migration queue holds *requests*, not rules: when a request is
+    served, ``run()`` computes the path and pushes the flow's rules into
+    the **admitted** queues of the path's switches (paper: "inserting
+    the flow forwarding rules into the admitted flow queue of the
+    corresponding switches").
+    """
+
+    run: Callable[[], None]
+
+
+class InstallScheduler:
+    """The per-switch queue system + rate-R server of Fig. 7."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        controller: "OpenFlowController",
+        dpid: str,
+        rate: float,
+        config: ScotchConfig,
+        on_admit: Callable[[PendingFlow], None],
+        on_overlay: Callable[[PendingFlow], None],
+        group_key: Optional[Callable[[PendingFlow], object]] = None,
+    ):
+        if rate <= 0:
+            raise ValueError("install rate R must be positive")
+        #: Maps a pending flow to its fair-sharing queue; the default is
+        #: the paper's per-ingress-port differentiation.
+        self.group_key = group_key or (lambda pending: pending.ingress_port)
+        self.sim = sim
+        self.controller = controller
+        self.dpid = dpid
+        self.rate = rate
+        self.config = config
+        self.on_admit = on_admit
+        self.on_overlay = on_overlay
+
+        self.admitted = BoundedQueue(name=f"{dpid}.admitted")
+        self.migration = BoundedQueue(name=f"{dpid}.migration")
+        self.ingress = RoundRobinScheduler()
+        self.overlay_enabled = False
+        # Small service jitter: real controllers are not clock-exact.
+        # Without it, an admission stream at exactly rate R locks step
+        # with downstream servers also running at R and the strictly
+        # lower-priority migration queue would never see an idle slot.
+        self._rng = sim.rng.stream(f"scheduler:{dpid}")
+        self._jitter = 0.05
+
+        self._busy = False
+        self._overlay_busy = False
+        self.flows_admitted = 0
+        self.flows_overlaid = 0
+        self.flows_dropped = 0
+        self.mods_sent = 0
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+    def _group_queue(self, key: object) -> BoundedQueue:
+        queue = self.ingress.get_queue(key)
+        if queue is None:
+            queue = BoundedQueue(name=f"{self.dpid}.group{key}")
+            self.ingress.add_queue(key, queue)
+        return queue
+
+    def submit_new_flow(self, pending: PendingFlow) -> str:
+        """Enqueue a Packet-In onto its fair-sharing queue (per ingress
+        port by default); drops beyond the dropping threshold (§5.2)."""
+        queue = self._group_queue(self.group_key(pending))
+        if len(queue) >= self.config.drop_threshold:
+            self.flows_dropped += 1
+            queue.dropped += 1
+            return DROPPED
+        pending.enqueued_at = self.sim.now
+        queue.push(pending)
+        self._kick()
+        self._kick_overlay()
+        return QUEUED
+
+    def submit_admitted(self, job: InstallJob) -> None:
+        self.admitted.push(job)
+        self._kick()
+
+    def submit_migration(self, request: MigrationRequest) -> None:
+        self.migration.push(request)
+        self._kick()
+
+    def set_overlay_enabled(self, enabled: bool) -> None:
+        self.overlay_enabled = enabled
+        if enabled:
+            self._kick_overlay()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Pending FlowMods ahead of any new migration rule (used by the
+        migrator's §5.3 overload check)."""
+        return len(self.admitted) + len(self.migration)
+
+    def port_backlog(self, key: object) -> int:
+        """Backlog of one fair-sharing queue (keyed by ingress port under
+        the default grouping)."""
+        queue = self.ingress.get_queue(key)
+        return len(queue) if queue is not None else 0
+
+    # ------------------------------------------------------------------
+    # Rate-R priority server
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        return bool(self.admitted or self.migration or self.ingress.total_backlog())
+
+    def _kick(self) -> None:
+        if not self._busy and self._has_work():
+            self._busy = True
+            gap = (1.0 / self.rate) * self._rng.uniform(1 - self._jitter, 1 + self._jitter)
+            self.sim.schedule(gap, self._serve)
+
+    def _serve(self) -> None:
+        self._busy = False
+        if self.admitted:
+            self._send(self.admitted.pop())
+        elif self.migration:
+            self.migration.pop().run()
+        else:
+            popped = self.ingress.pop_next()
+            if popped is not None:
+                _, pending = popped
+                self.flows_admitted += 1
+                self.on_admit(pending)
+        self._kick()
+
+    def _send(self, job: InstallJob) -> None:
+        self.controller.datapaths[job.dpid].send(job.flow_mod)
+        self.mods_sent += 1
+        if job.on_sent is not None:
+            job.on_sent()
+
+    # ------------------------------------------------------------------
+    # Overlay drain: tail of any queue beyond the overlay threshold
+    # ------------------------------------------------------------------
+    def _overlay_candidates(self) -> Optional[BoundedQueue]:
+        longest: Optional[BoundedQueue] = None
+        for port in self.ingress:
+            queue = self.ingress.get_queue(port)
+            if len(queue) > self.config.overlay_threshold:
+                if longest is None or len(queue) > len(longest):
+                    longest = queue
+        return longest
+
+    def _kick_overlay(self) -> None:
+        if (
+            self.overlay_enabled
+            and not self._overlay_busy
+            and self._overlay_candidates() is not None
+        ):
+            self._overlay_busy = True
+            self.sim.schedule(1.0 / self.config.overlay_install_rate, self._serve_overlay)
+
+    def _serve_overlay(self) -> None:
+        self._overlay_busy = False
+        if not self.overlay_enabled:
+            return
+        queue = self._overlay_candidates()
+        if queue is not None:
+            pending = queue.pop_tail()
+            self.flows_overlaid += 1
+            self.on_overlay(pending)
+        self._kick_overlay()
+
+
+class PathInstaller:
+    """Sequenced cross-switch rule installation.
+
+    Rules are supplied **last hop first**; each physical-switch rule is
+    enqueued to the *next* switch's queue only after the previous one was
+    actually sent — the §5.3 make-before-break ordering ("the forwarding
+    rule on the first hop switch is added at last").  Rules addressed to
+    vSwitches bypass the per-switch budget (vSwitch installs are cheap)
+    and are sent immediately.
+    """
+
+    #: Per-hop settle time after sending a FlowMod before the next hop is
+    #: attempted: one-way control latency + OFA rule commit.  Real
+    #: controllers get the same pacing from a barrier round trip.
+    SETTLE_DELAY = 4e-3
+
+    def __init__(
+        self,
+        controller: "OpenFlowController",
+        schedulers: Dict[str, InstallScheduler],
+        settle_delay: float = SETTLE_DELAY,
+    ):
+        self.controller = controller
+        self.schedulers = schedulers
+        self.settle_delay = settle_delay
+
+    def install(
+        self,
+        jobs: List[InstallJob],
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Send ``jobs`` (last hop first) with sequencing through the
+        per-switch **admitted** queues; calls ``on_complete`` one settle
+        delay after the final rule is sent, i.e. when the whole path is
+        expected to be live."""
+        sim = self.controller.sim
+
+        def send_from(index: int) -> None:
+            if index >= len(jobs):
+                if on_complete is not None:
+                    on_complete()
+                return
+            job = jobs[index]
+            chained = job.on_sent
+
+            def advance() -> None:
+                if chained is not None:
+                    chained()
+                sim.schedule(self.settle_delay, send_from, index + 1)
+
+            scheduler = self.schedulers.get(job.dpid)
+            if scheduler is None:
+                # A vSwitch (or unmanaged switch): send directly.
+                self.controller.datapaths[job.dpid].send(job.flow_mod)
+                advance()
+            else:
+                scheduler.submit_admitted(InstallJob(job.dpid, job.flow_mod, on_sent=advance))
+
+        send_from(0)

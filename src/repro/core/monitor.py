@@ -1,0 +1,138 @@
+"""Congestion detection (paper §4.2) and withdrawal detection (§5.5).
+
+"The OpenFlow controller monitors the rate of Packet-In messages sent by
+the OFA of each physical switch to determine if the control path is
+congested."  While the overlay is active the switch's own OFA goes
+quiet (the default rule swallows table misses), so the monitor instead
+counts the new-flow arrivals attributed to the switch via the overlay's
+tunnel metadata — which is also what §5.5 prescribes for detecting that
+the congestion has passed ("monitoring the new flow arrival rate at
+physical switches").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.core.config import ScotchConfig
+from repro.metrics.meters import RateEstimator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.switch.profiles import SwitchProfile
+
+
+class _SwitchState:
+    def __init__(self, profile: "SwitchProfile"):
+        self.profile = profile
+        self.meter = RateEstimator(window_events=64, window_seconds=2.0)
+        self.table_full_meter = RateEstimator(window_events=32, window_seconds=2.0)
+        self.congested = False
+        self.below_since: Optional[float] = None
+
+
+class CongestionMonitor:
+    """Per-switch new-flow rate tracking with activation/withdrawal events."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        config: ScotchConfig,
+        on_congested: Callable[[str], None],
+        on_cleared: Callable[[str], None],
+        pressure_check: Optional[Callable[[str], bool]] = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.on_congested = on_congested
+        self.on_cleared = on_cleared
+        #: Extra veto on withdrawal: while this returns True for a
+        #: switch, it is never declared calm (used for predicted TCAM
+        #: pressure, which is invisible in the rates while mitigated).
+        self.pressure_check = pressure_check
+        self._switches: Dict[str, _SwitchState] = {}
+        self._running = False
+
+    def watch(self, dpid: str, profile: "SwitchProfile") -> None:
+        if dpid not in self._switches:
+            self._switches[dpid] = _SwitchState(profile)
+
+    def observe_new_flow(self, dpid: str, count: int = 1) -> None:
+        """Record new-flow arrivals attributed to ``dpid`` (direct
+        Packet-Ins or overlay Packet-Ins carrying its tunnel id)."""
+        state = self._switches.get(dpid)
+        if state is not None:
+            state.meter.observe(self.sim.now, count)
+
+    def observe_table_full(self, dpid: str) -> None:
+        """Record a TABLE_FULL error from ``dpid`` — the §3.3 TCAM
+        bottleneck also warrants detouring new flows to the overlay."""
+        state = self._switches.get(dpid)
+        if state is not None:
+            state.table_full_meter.observe(self.sim.now)
+
+    def table_full_rate(self, dpid: str) -> float:
+        state = self._switches.get(dpid)
+        return state.table_full_meter.rate(self.sim.now) if state else 0.0
+
+    def rate(self, dpid: str) -> float:
+        state = self._switches.get(dpid)
+        return state.meter.rate(self.sim.now) if state else 0.0
+
+    def is_congested(self, dpid: str) -> bool:
+        state = self._switches.get(dpid)
+        return bool(state and state.congested)
+
+    def force_congested(self, dpid: str) -> None:
+        """Declare congestion out-of-band (e.g. predicted TCAM
+        exhaustion) — fires ``on_congested`` once; the ordinary calm
+        conditions later clear it."""
+        state = self._switches.get(dpid)
+        if state is not None and not state.congested:
+            state.congested = True
+            state.below_since = None
+            self.on_congested(dpid)
+
+    # ------------------------------------------------------------------
+    # Periodic evaluation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.config.monitor_interval, self._tick, daemon=True)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        for dpid, state in self._switches.items():
+            rate = state.meter.rate(self.sim.now)
+            table_full = state.table_full_meter.rate(self.sim.now)
+            capacity = state.profile.packet_in_rate
+            if not state.congested:
+                if (
+                    rate >= self.config.activate_fraction * capacity
+                    or table_full >= self.config.table_full_rate_threshold
+                ):
+                    state.congested = True
+                    state.below_since = None
+                    self.on_congested(dpid)
+            else:
+                calm = (
+                    rate <= self.config.withdraw_fraction * capacity
+                    and table_full < self.config.table_full_rate_threshold / 2
+                    and not (self.pressure_check is not None and self.pressure_check(dpid))
+                )
+                if calm:
+                    if state.below_since is None:
+                        state.below_since = self.sim.now
+                    elif self.sim.now - state.below_since >= self.config.withdraw_hold:
+                        state.congested = False
+                        state.below_since = None
+                        self.on_cleared(dpid)
+                else:
+                    state.below_since = None
+        self.sim.schedule(self.config.monitor_interval, self._tick, daemon=True)

@@ -1,0 +1,104 @@
+"""Overlay withdrawal (paper §5.5).
+
+Three steps, in order, all through the switch's admitted queue so they
+stay R-rate-limited and FIFO-ordered:
+
+1. per-flow *pin* rules keep the flows currently on the overlay going to
+   the overlay ("the controller inserts rules at the switch to
+   continuously forward these flows to the Scotch overlay");
+2. the default-to-overlay rules are deleted, so new flows punt to the
+   OFA and reach the controller directly again;
+3. any residual overlay flow that later grows large is still migrated by
+   the ordinary §5.3 machinery (nothing to do here — the migrator keeps
+   running).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.controller.flow_info_db import FlowInfoDatabase
+from repro.core.config import (
+    LB_TABLE,
+    MAIN_TABLE,
+    PRIORITY_OVERLAY_PIN,
+    ScotchConfig,
+)
+from repro.core.flow_manager import InstallJob, InstallScheduler
+from repro.core.overlay import ScotchOverlay
+from repro.openflow.messages import FlowMod
+from repro.switch.actions import GotoTable, PushMpls
+from repro.switch.match import Match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class WithdrawalManager:
+    """Runs the §5.5 sequence for one switch at a time."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        overlay: ScotchOverlay,
+        flow_db: FlowInfoDatabase,
+        schedulers: Dict[str, InstallScheduler],
+        config: ScotchConfig,
+    ):
+        self.sim = sim
+        self.overlay = overlay
+        self.flow_db = flow_db
+        self.schedulers = schedulers
+        self.config = config
+        self.withdrawals = 0
+        self.pins_installed = 0
+
+    def withdraw(self, switch_name: str, on_complete: Optional[Callable[[], None]] = None) -> None:
+        scheduler = self.schedulers.get(switch_name)
+        if scheduler is None:
+            raise KeyError(f"no scheduler for switch {switch_name!r}")
+        self.withdrawals += 1
+
+        # Step 1: pin every flow *currently* riding the overlay via this
+        # switch — those with recent flow-stats activity (dead flows'
+        # vSwitch rules idle out and stop appearing in stats).  The pin
+        # replicates what the shared default rule did for this one flow
+        # (push its ingress-port label, go to the LB table) and idles
+        # out with the flow.
+        now = self.sim.now
+        window = self.config.pin_activity_window
+        pin_jobs: List[InstallJob] = []
+        for info in self.flow_db.overlay_flows_via(switch_name):
+            seen = info.last_stats_seen if info.last_stats_seen is not None else info.first_seen
+            if now - seen > window:
+                continue
+            label = self.overlay.port_label(switch_name, info.ingress_port)
+            pin = FlowMod(
+                match=Match.for_flow(info.key),
+                priority=PRIORITY_OVERLAY_PIN,
+                actions=[PushMpls(label), GotoTable(LB_TABLE)],
+                table_id=MAIN_TABLE,
+                idle_timeout=self.config.pin_idle_timeout,
+            )
+            pin_jobs.append(InstallJob(switch_name, pin))
+        self.pins_installed += len(pin_jobs)
+
+        # Step 2: remove the default rules — enqueued after the pins on
+        # the same FIFO admitted queue, so ordering holds.  Overlay
+        # routing at the controller stays enabled until the default
+        # rules are actually gone (new flows keep arriving over the
+        # overlay data path until then).
+        removal_jobs = [
+            InstallJob(switch_name, mod) for mod in self.overlay.withdrawal_messages(switch_name)
+        ]
+
+        def removal_done() -> None:
+            scheduler.set_overlay_enabled(False)
+            self.overlay.active.discard(switch_name)
+            if on_complete is not None:
+                on_complete()
+
+        removal_jobs[-1].on_sent = removal_done
+
+        for job in pin_jobs + removal_jobs:
+            scheduler.submit_admitted(job)

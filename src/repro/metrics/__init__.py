@@ -1,0 +1,32 @@
+"""Measurement: packet recorders, rate meters, time series, statistics.
+
+:class:`PacketRecorder` plays the role of the paper's tcpdump taps at the
+client/attacker/server; :func:`client_flow_failure_fraction` computes the
+Fig. 3 metric from those traces exactly as §3.2 defines it.
+"""
+
+from repro.metrics.export import read_flow_records, write_flow_records
+from repro.metrics.failure import client_flow_failure_fraction, flow_success_stats
+from repro.metrics.meters import Ewma, RateEstimator, WindowRateMeter
+from repro.metrics.plot import ascii_plot, sparkline
+from repro.metrics.recorder import PacketRecorder
+from repro.metrics.series import TimeSeries
+from repro.metrics.stats import cdf_points, mean, percentile, stddev
+
+__all__ = [
+    "Ewma",
+    "ascii_plot",
+    "read_flow_records",
+    "sparkline",
+    "write_flow_records",
+    "PacketRecorder",
+    "RateEstimator",
+    "TimeSeries",
+    "WindowRateMeter",
+    "cdf_points",
+    "client_flow_failure_fraction",
+    "flow_success_stats",
+    "mean",
+    "percentile",
+    "stddev",
+]

@@ -1,0 +1,103 @@
+"""Rate estimation primitives.
+
+:class:`RateEstimator` is the arrival-rate estimator used inside the OFA
+model (insertion-rate dependent behaviour, Figs. 9/10) and by the Scotch
+congestion monitor (Packet-In rate per switch, §4.2): a sliding window of
+recent event timestamps.  :class:`Ewma` is a plain exponentially weighted
+moving average.  :class:`WindowRateMeter` counts events into fixed bins
+for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+
+class RateEstimator:
+    """Sliding-window arrival-rate estimator.
+
+    Keeps the last ``window_events`` event times (optionally age-bounded
+    by ``window_seconds``) and reports ``(n - 1) / span``.  Returns 0
+    until two events have been seen.
+    """
+
+    def __init__(self, window_events: int = 32, window_seconds: Optional[float] = None):
+        if window_events < 2:
+            raise ValueError("window must hold at least two events")
+        self._times: Deque[float] = deque(maxlen=window_events)
+        self.window_seconds = window_seconds
+        self.total_events = 0
+
+    def observe(self, now: float, count: int = 1) -> None:
+        for _ in range(count):
+            self._times.append(now)
+        self.total_events += count
+
+    def rate(self, now: Optional[float] = None) -> float:
+        times = self._times
+        if self.window_seconds is not None and now is not None:
+            cutoff = now - self.window_seconds
+            while times and times[0] < cutoff:
+                times.popleft()
+        if len(times) < 2:
+            return 0.0
+        span = times[-1] - times[0]
+        if span <= 0:
+            # A burst at one instant: treat as very fast, bounded for sanity.
+            return float(len(times)) * 1e6
+        return (len(times) - 1) / span
+
+
+class Ewma:
+    """Exponentially weighted moving average with gain ``alpha``."""
+
+    def __init__(self, alpha: float = 0.2, initial: Optional[float] = None):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: Optional[float] = initial
+
+    def update(self, sample: float) -> float:
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        return self.value if self.value is not None else default
+
+
+class WindowRateMeter:
+    """Counts events into fixed time bins; yields a rate time series."""
+
+    def __init__(self, bin_seconds: float = 1.0):
+        if bin_seconds <= 0:
+            raise ValueError("bin size must be positive")
+        self.bin_seconds = bin_seconds
+        self._bins: dict = {}
+        self.total = 0
+
+    def observe(self, now: float, count: int = 1) -> None:
+        index = int(now / self.bin_seconds)
+        self._bins[index] = self._bins.get(index, 0) + count
+        self.total += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """[(bin start time, events/second)] sorted by time."""
+        return [
+            (index * self.bin_seconds, count / self.bin_seconds)
+            for index, count in sorted(self._bins.items())
+        ]
+
+    def rate_in(self, start: float, end: float) -> float:
+        """Average event rate over [start, end)."""
+        if end <= start:
+            return 0.0
+        total = sum(
+            count
+            for index, count in self._bins.items()
+            if start <= index * self.bin_seconds < end
+        )
+        return total / (end - start)

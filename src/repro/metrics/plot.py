@@ -1,0 +1,71 @@
+"""ASCII charts for benchmark/CLI output.
+
+The benches print the paper's tables; these helpers add a visual read
+of the curve shapes (Fig. 3's failure growth, Fig. 9's saturation,
+Fig. 10's cliff) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart: each value scaled into eight glyph levels."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def ascii_plot(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A scatter/step plot of (x, y) points on a character grid."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_low) / x_span * (width - 1))
+        row = int((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines: List[str] = []
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    pad = max(len(top_label), len(bottom_label))
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(pad)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * pad + "  " + x_axis)
+    if x_label or y_label:
+        lines.append(" " * pad + f"  x: {x_label}   y: {y_label}".rstrip())
+    return "\n".join(lines)

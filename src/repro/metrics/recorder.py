@@ -1,0 +1,72 @@
+"""Packet recording — the simulator's tcpdump.
+
+Hosts attach a :class:`PacketRecorder` to their NIC; the recorder indexes
+traffic by flow key, which is all the §3.2 failure-fraction computation
+and the trace-driven experiment's FCT computation need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.net.flow import FlowKey, FlowRecord
+from repro.net.packet import Packet
+
+
+class PacketRecorder:
+    """Records send or receive events per flow at one vantage point."""
+
+    def __init__(self, name: str = "tap"):
+        self.name = name
+        self.records: Dict[FlowKey, FlowRecord] = {}
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def _record(self, key: FlowKey) -> FlowRecord:
+        record = self.records.get(key)
+        if record is None:
+            record = FlowRecord(key)
+            self.records[key] = record
+        return record
+
+    def on_send(self, packet: Packet, now: float) -> None:
+        record = self._record(packet.flow_key)
+        if record.first_sent_at is None:
+            record.first_sent_at = now
+        record.packets_sent += packet.count
+
+    def on_receive(self, packet: Packet, now: float) -> None:
+        record = self._record(packet.flow_key)
+        if record.first_received_at is None:
+            record.first_received_at = now
+        record.last_received_at = now
+        record.packets_received += packet.count
+        record.bytes_received += packet.size * packet.count
+        self.total_packets += packet.count
+        self.total_bytes += packet.size * packet.count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def flows(self) -> List[FlowRecord]:
+        return list(self.records.values())
+
+    def flow(self, key: FlowKey) -> Optional[FlowRecord]:
+        return self.records.get(key)
+
+    def flow_keys(self) -> Set[FlowKey]:
+        return set(self.records.keys())
+
+    def sent_flow_keys(self) -> Set[FlowKey]:
+        return {k for k, r in self.records.items() if r.packets_sent > 0}
+
+    def received_flow_keys(self) -> Set[FlowKey]:
+        return {k for k, r in self.records.items() if r.packets_received > 0}
+
+    def received_in(self, start: float, end: float) -> Set[FlowKey]:
+        """Flows whose first packet arrived within [start, end)."""
+        return {
+            k
+            for k, r in self.records.items()
+            if r.first_received_at is not None and start <= r.first_received_at < end
+        }

@@ -1,0 +1,39 @@
+"""Network substrate: packets, flows, links, topology, tunnels, hosts.
+
+This package models the data plane the paper's testbed runs on: Ethernet/
+IP/TCP-style packets with MPLS/GRE encapsulation stacks, finite-rate
+links with drop-tail queues, a topology registry (backed by networkx),
+GRE/MPLS tunnels over the physical fabric, traffic-terminating hosts, and
+the stateful middleboxes used by the policy-consistency design (paper
+Fig. 8).
+
+Topology builders (linear / leaf-spine / fat-tree) live in
+:mod:`repro.net.builders`; import them from there directly — they depend
+on the switch package, which in turn depends on this one, so they stay
+out of the package namespace to avoid an import cycle.
+"""
+
+from repro.net.addresses import ip_to_int, int_to_ip, make_ip, make_mac
+from repro.net.flow import FlowKey, flow_key_of
+from repro.net.links import DirectedLink, connect
+from repro.net.node import Node
+from repro.net.packet import GreHeader, MplsHeader, Packet
+from repro.net.ports import Port
+from repro.net.topology import Network
+
+__all__ = [
+    "DirectedLink",
+    "FlowKey",
+    "GreHeader",
+    "MplsHeader",
+    "Network",
+    "Node",
+    "Packet",
+    "Port",
+    "connect",
+    "flow_key_of",
+    "int_to_ip",
+    "ip_to_int",
+    "make_ip",
+    "make_mac",
+]

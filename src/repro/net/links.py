@@ -1,0 +1,122 @@
+"""Finite-rate links with drop-tail queues.
+
+A :class:`DirectedLink` is one direction of a cable: serialization at
+``rate_bps``, propagation ``delay`` seconds, and a drop-tail queue of
+``queue_packets`` packet trains awaiting serialization.  ``connect``
+builds both directions and returns the two new ports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+#: Default queue depth, in packet trains.  Deep enough that control-path
+#: experiments never see link loss (the paper's point: the data plane is
+#: uncongested), shallow enough that a saturated link drops.
+DEFAULT_QUEUE = 1000
+
+
+class DirectedLink:
+    """One direction of a link, delivering into ``dst_node.receive``."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        rate_bps: float,
+        delay: float,
+        dst_node: "Node",
+        dst_port_no: int,
+        queue_packets: int = DEFAULT_QUEUE,
+        name: str = "",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("link delay must be non-negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.dst_node = dst_node
+        self.dst_port_no = dst_port_no
+        self.queue_packets = queue_packets
+        self.name = name or f"->{dst_node.name}:{dst_port_no}"
+        self._queue: Deque["Packet"] = deque()
+        self._busy = False
+        self.delivered = 0
+        self.dropped = 0
+
+    def transmit(self, packet: "Packet") -> None:
+        """Enqueue for serialization; drop-tail when the queue is full."""
+        if len(self._queue) >= self.queue_packets:
+            self.dropped += packet.count
+            return
+        self._queue.append(packet)
+        if not self._busy:
+            self._serialize_next()
+
+    def _serialize_next(self) -> None:
+        self._busy = True
+        packet = self._queue.popleft()
+        tx_time = packet.wire_bits / self.rate_bps
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: "Packet") -> None:
+        self.sim.schedule(self.delay, self._deliver, packet)
+        if self._queue:
+            self._serialize_next()
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: "Packet") -> None:
+        self.delivered += packet.count
+        self.dst_node.receive(packet, self.dst_port_no)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+def connect(
+    sim: "Simulator",
+    node_a: "Node",
+    node_b: "Node",
+    rate_bps: float = 1e9,
+    delay: float = 50e-6,
+    queue_packets: int = DEFAULT_QUEUE,
+) -> Tuple["Port", "Port"]:
+    """Wire a full-duplex link between two nodes.
+
+    Returns ``(port_on_a, port_on_b)``.  Each side gets a fresh port and a
+    DirectedLink toward the other.
+    """
+    port_a = node_a.allocate_port()
+    port_b = node_b.allocate_port()
+    port_a.attach(
+        DirectedLink(
+            sim,
+            rate_bps,
+            delay,
+            node_b,
+            port_b.port_no,
+            queue_packets,
+            name=f"{port_a.name}->{port_b.name}",
+        )
+    )
+    port_b.attach(
+        DirectedLink(
+            sim,
+            rate_bps,
+            delay,
+            node_a,
+            port_a.port_no,
+            queue_packets,
+            name=f"{port_b.name}->{port_a.name}",
+        )
+    )
+    return port_a, port_b

@@ -1,0 +1,176 @@
+"""Packet model with an MPLS/GRE encapsulation stack.
+
+A :class:`Packet` carries the inner five-tuple plus a stack of
+encapsulation headers (``encap``; the last element is outermost).  Scotch
+uses a two-label scheme (paper §5.2): the physical switch pushes an inner
+label that encodes the original ingress port, then the group-table bucket
+pushes an outer label that identifies the tunnel; the vSwitch pops both
+and attaches them to the Packet-In so the controller can recover the
+(switch, port) the flow really entered on.
+
+``count`` lets one Packet object stand for a back-to-back train of
+identical data packets; every queue, rate and byte computation in the
+simulator is ``count``-aware.  Control-path experiments always use
+``count=1`` (each packet is its own new flow).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.net.flow import FlowKey
+
+_packet_ids = itertools.count(1)
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+TCP_SYN = "SYN"
+TCP_DATA = "DATA"
+TCP_FIN = "FIN"
+
+
+@dataclass(frozen=True)
+class MplsHeader:
+    """An MPLS shim header; ``label`` is the 20-bit label value."""
+
+    label: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.label < (1 << 20):
+            raise ValueError(f"MPLS label out of range: {self.label!r}")
+
+
+@dataclass(frozen=True)
+class GreHeader:
+    """A GRE header; ``key`` is the 32-bit GRE key."""
+
+    key: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.key < (1 << 32):
+            raise ValueError(f"GRE key out of range: {self.key!r}")
+
+
+Header = Union[MplsHeader, GreHeader]
+
+#: Wire overhead per encapsulation header, bytes.
+MPLS_OVERHEAD = 4
+GRE_OVERHEAD = 42  # outer IP + GRE
+
+
+class Packet:
+    """A simulated packet (or a train of ``count`` identical packets)."""
+
+    __slots__ = (
+        "packet_id",
+        "src_ip",
+        "dst_ip",
+        "proto",
+        "src_port",
+        "dst_port",
+        "size",
+        "count",
+        "tcp_flag",
+        "created_at",
+        "encap",
+        "popped_labels",
+        "metadata",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        src_ip: str,
+        dst_ip: str,
+        proto: int = PROTO_TCP,
+        src_port: int = 0,
+        dst_port: int = 0,
+        size: int = 1500,
+        count: int = 1,
+        tcp_flag: str = TCP_SYN,
+        created_at: float = 0.0,
+    ):
+        if size <= 0:
+            raise ValueError("packet size must be positive")
+        if count <= 0:
+            raise ValueError("packet count must be positive")
+        self.packet_id: int = next(_packet_ids)
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.size = size
+        self.count = count
+        self.tcp_flag = tcp_flag
+        self.created_at = created_at
+        self.encap: List[Header] = []
+        self.popped_labels: List[int] = []
+        self.metadata: Dict[str, Any] = {}
+        self.hops: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Encapsulation
+    # ------------------------------------------------------------------
+    def push(self, header: Header) -> None:
+        """Push an encapsulation header (becomes outermost)."""
+        self.encap.append(header)
+
+    def pop(self) -> Header:
+        """Pop the outermost encapsulation header."""
+        if not self.encap:
+            raise ValueError("pop on packet with empty encap stack")
+        return self.encap.pop()
+
+    @property
+    def outer(self) -> Optional[Header]:
+        """Outermost encapsulation header, or None if bare."""
+        return self.encap[-1] if self.encap else None
+
+    @property
+    def outer_mpls_label(self) -> Optional[int]:
+        outer = self.outer
+        return outer.label if isinstance(outer, MplsHeader) else None
+
+    @property
+    def outer_gre_key(self) -> Optional[int]:
+        outer = self.outer
+        return outer.key if isinstance(outer, GreHeader) else None
+
+    @property
+    def wire_size(self) -> int:
+        """Per-packet size on the wire including encapsulation overhead."""
+        overhead = 0
+        for header in self.encap:
+            overhead += MPLS_OVERHEAD if isinstance(header, MplsHeader) else GRE_OVERHEAD
+        return self.size + overhead
+
+    @property
+    def wire_bits(self) -> int:
+        """Total bits for the whole train (used for link serialization)."""
+        return self.wire_size * 8 * self.count
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def flow_key(self) -> FlowKey:
+        """The inner five-tuple (independent of encapsulation)."""
+        return FlowKey(self.src_ip, self.dst_ip, self.proto, self.src_port, self.dst_port)
+
+    def note_hop(self, node_name: str) -> None:
+        """Record traversal of a node, for path-stretch metrics and loop checks."""
+        self.hops.append(node_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        encap = "".join(
+            f"+M{h.label}" if isinstance(h, MplsHeader) else f"+G{h.key}" for h in self.encap
+        )
+        return (
+            f"<Packet #{self.packet_id} {self.src_ip}:{self.src_port}->"
+            f"{self.dst_ip}:{self.dst_port} p{self.proto} {self.tcp_flag}"
+            f" x{self.count}{encap}>"
+        )

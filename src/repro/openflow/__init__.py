@@ -1,0 +1,35 @@
+"""OpenFlow protocol messages and the switch<->controller channel."""
+
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import (
+    ADD,
+    DELETE,
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FlowMod,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    PacketIn,
+    PacketOut,
+)
+
+__all__ = [
+    "ADD",
+    "BarrierReply",
+    "BarrierRequest",
+    "ControlChannel",
+    "DELETE",
+    "EchoReply",
+    "EchoRequest",
+    "FlowMod",
+    "FlowStatsEntry",
+    "FlowStatsReply",
+    "FlowStatsRequest",
+    "GroupMod",
+    "PacketIn",
+    "PacketOut",
+]

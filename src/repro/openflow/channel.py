@@ -1,0 +1,62 @@
+"""The switch<->controller control channel.
+
+Models the secure TCP connection over the management port: a fixed
+one-way latency in each direction and loss-free in-order delivery.  The
+paper's measurements attribute the control-path bottleneck entirely to
+the OFA CPU (§3.3) — the 1 Gb/s management port never saturates at
+hundreds of messages/second — so the channel itself is not rate limited;
+all rate limiting lives in :class:`repro.switch.ofa.OpenFlowAgent`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.openflow.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class ControlChannel:
+    """One switch's connection to the controller."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        datapath_id: str,
+        latency: float = 0.5e-3,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.datapath_id = datapath_id
+        self.latency = latency
+        self.connected = True
+        #: Set by the controller at registration time.
+        self.controller_sink: Optional[Callable[[str, Message], None]] = None
+        #: Set by the switch's OFA at construction time.
+        self.switch_sink: Optional[Callable[[Message], None]] = None
+        self.to_controller_count = 0
+        self.to_switch_count = 0
+
+    def send_to_controller(self, message: Message) -> None:
+        """Deliver a switch-originated message after one-way latency."""
+        if not self.connected or self.controller_sink is None:
+            return
+        self.to_controller_count += 1
+        self.sim.schedule(self.latency, self.controller_sink, self.datapath_id, message)
+
+    def send_to_switch(self, message: Message) -> None:
+        """Deliver a controller-originated message after one-way latency."""
+        if not self.connected or self.switch_sink is None:
+            return
+        self.to_switch_count += 1
+        self.sim.schedule(self.latency, self.switch_sink, message)
+
+    def disconnect(self) -> None:
+        """Sever the channel (used to simulate vSwitch failure, §5.6)."""
+        self.connected = False
+
+    def reconnect(self) -> None:
+        self.connected = True

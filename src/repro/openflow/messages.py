@@ -1,0 +1,193 @@
+"""OpenFlow 1.3-subset message types.
+
+These are typed in-memory messages rather than wire encodings — the
+paper's bottleneck is the OFA CPU, not the 1 Gb/s management port, so the
+channel models latency and the OFA models processing cost.
+
+Per the paper's configuration choice (§4.2) the Packet-In carries the
+entire packet ("we configure the vswitch to forward the entire packet to
+the controller, so that the controller can have more flexibility").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import
+    # cycle (repro.switch.ofa imports this module at runtime).
+    from repro.switch.actions import Action
+    from repro.switch.group_table import Bucket
+    from repro.switch.match import Match
+
+_xids = itertools.count(1)
+
+
+def next_xid() -> int:
+    return next(_xids)
+
+
+ADD = "add"
+DELETE = "delete"
+MODIFY = "modify"
+
+
+@dataclass
+class Message:
+    """Base class; ``xid`` pairs requests with replies."""
+
+    xid: int = field(default_factory=next_xid, init=False)
+
+
+@dataclass
+class PacketIn(Message):
+    """Switch -> controller: a packet missed the tables (or was punted)."""
+
+    datapath_id: str = ""
+    packet: Optional[Packet] = None
+    in_port: int = 0
+    reason: str = "no_match"
+    #: Extra context: ``tunnel_id`` and ``inner_label`` when the packet
+    #: arrived at a vSwitch over a Scotch tunnel (paper §5.2).
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FlowMod(Message):
+    """Controller -> switch: add/remove a flow rule."""
+
+    match: Optional["Match"] = None
+    priority: int = 1
+    actions: List["Action"] = field(default_factory=list)
+    table_id: int = 0
+    command: str = ADD
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: Optional[object] = None
+    #: Ask the switch to send FlowRemoved when this rule expires (the
+    #: OpenFlow SEND_FLOW_REM flag).  On by default for controller-
+    #: installed rules so per-flow state can be retired.
+    notify_removal: bool = True
+
+
+@dataclass
+class GroupMod(Message):
+    """Controller -> switch: add/modify/remove a group entry."""
+
+    group_id: int = 0
+    group_type: str = "select"
+    buckets: List[Bucket] = field(default_factory=list)
+    command: str = ADD
+
+
+@dataclass
+class PacketOut(Message):
+    """Controller -> switch: inject a packet with an explicit action list."""
+
+    packet: Optional[Packet] = None
+    actions: List[Action] = field(default_factory=list)
+    in_port: int = 0
+
+
+@dataclass
+class FlowStatsRequest(Message):
+    """Controller -> switch: dump per-rule counters (§5.3 flow-stats query)."""
+
+    table_id: Optional[int] = None
+    match: Optional[Match] = None
+
+
+@dataclass
+class FlowStatsEntry:
+    """One rule's counters in a stats reply."""
+
+    match: Match
+    priority: int
+    table_id: int
+    packets: int
+    bytes: int
+    duration: float
+    cookie: Optional[object] = None
+
+
+@dataclass
+class FlowStatsReply(Message):
+    datapath_id: str = ""
+    entries: List[FlowStatsEntry] = field(default_factory=list)
+    request_xid: int = 0
+
+
+@dataclass
+class FlowRemoved(Message):
+    """Switch -> controller: a rule expired (idle/hard timeout) or was
+    deleted.  Lets the controller retire per-flow state (Flow Info
+    Database entries) when the flow itself is gone."""
+
+    datapath_id: str = ""
+    match: Optional["Match"] = None
+    priority: int = 0
+    table_id: int = 0
+    reason: str = "idle_timeout"
+    packets: int = 0
+    bytes: int = 0
+    duration: float = 0.0
+    cookie: Optional[object] = None
+
+
+@dataclass
+class ErrorMessage(Message):
+    """Switch -> controller: a request failed (e.g. OFPET_FLOW_MOD_FAILED
+    with OFPFMFC_TABLE_FULL when the TCAM is exhausted, §3.3)."""
+
+    datapath_id: str = ""
+    error_type: str = "flow_mod_failed"
+    code: str = "table_full"
+    failed_xid: int = 0
+
+
+@dataclass
+class PortStatsRequest(Message):
+    """Controller -> switch: per-port transmit counters.
+
+    ``port_no`` = None dumps all ports."""
+
+    port_no: Optional[int] = None
+
+
+@dataclass
+class PortStatsEntry:
+    port_no: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+
+
+@dataclass
+class PortStatsReply(Message):
+    datapath_id: str = ""
+    entries: List["PortStatsEntry"] = field(default_factory=list)
+    request_xid: int = 0
+
+
+@dataclass
+class EchoRequest(Message):
+    """Heartbeat (paper §5.6: vSwitch failure detection)."""
+
+
+@dataclass
+class EchoReply(Message):
+    request_xid: int = 0
+    datapath_id: str = ""
+
+
+@dataclass
+class BarrierRequest(Message):
+    """Fence: the switch replies only after processing earlier messages."""
+
+
+@dataclass
+class BarrierReply(Message):
+    request_xid: int = 0
+    datapath_id: str = ""

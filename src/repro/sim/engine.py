@@ -1,0 +1,169 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a binary-heap calendar queue.  Simultaneous events fire in
+the order they were scheduled (a monotonically increasing sequence number
+breaks timestamp ties), which makes every run with the same seed and the
+same model code bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(Exception):
+    """Raised on misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`; user code only ever needs
+    :meth:`cancel` and :attr:`time`.
+
+    ``daemon`` events are housekeeping (periodic rule-expiry sweeps,
+    monitor ticks): they never keep an otherwise-finished simulation
+    alive — :meth:`Simulator.run` without a horizon stops once only
+    daemon events remain.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "daemon")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
+                 daemon: bool = False):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent; safe after firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator(seed=1)
+        sim.schedule(0.5, my_callback, arg1)
+        sim.run(until=10.0)
+
+    ``sim.now`` is the current simulation time in seconds.  All model
+    components take the simulator instance in their constructor and use it
+    for both time and randomness (via :attr:`rng`).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        #: Non-daemon events still in the heap (fired/discarded ones
+        #: excluded); when this reaches zero, an un-horizoned run() ends.
+        self._foreground_pending = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 daemon: bool = False) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args, daemon=daemon)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
+                    daemon: bool = False) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before now ({self.now!r})"
+            )
+        event = Event(time, self._seq, callback, args, daemon=daemon)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        if not daemon:
+            self._foreground_pending += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or ``until`` is reached.
+
+        Returns the simulation time when the run stopped.  When ``until``
+        is given, the clock is advanced to exactly ``until`` even if the
+        last event fired earlier (so rate computations over the run window
+        are well defined).
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                if until is None and self._foreground_pending == 0:
+                    break  # only daemon housekeeping left
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if not event.daemon:
+                    self._foreground_pending -= 1
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback(*event.args)
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        """Fire the single next pending event.  Returns False if none left."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.daemon:
+                self._foreground_pending -= 1
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)

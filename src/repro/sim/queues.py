@@ -1,0 +1,130 @@
+"""Bounded FIFO queues and the round-robin queue scheduler.
+
+:class:`BoundedQueue` models any finite buffer (link queues, OFA input
+queues, controller per-port queues).  :class:`RoundRobinScheduler` is the
+fair service discipline the Scotch flow manager uses across ingress-port
+queues (paper §5.2): each service opportunity goes to the next non-empty
+queue in a fixed rotation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, Hashable, Iterable, Optional, Tuple
+
+
+class QueueFullError(Exception):
+    """Raised by :meth:`BoundedQueue.push` when the buffer is at capacity."""
+
+
+class BoundedQueue:
+    """FIFO with optional capacity; tracks drop and enqueue counters."""
+
+    def __init__(self, capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be non-negative or None")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def push(self, item: Any) -> None:
+        """Enqueue ``item``; raises :class:`QueueFullError` (and counts a
+        drop) if the queue is at capacity."""
+        if self.full:
+            self.dropped += 1
+            raise QueueFullError(self.name or "queue full")
+        self._items.append(item)
+        self.enqueued += 1
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue if there is room; returns False (counting a drop) otherwise."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Any:
+        """Dequeue the oldest item; raises IndexError when empty."""
+        return self._items.popleft()
+
+    def pop_tail(self) -> Any:
+        """Dequeue the *newest* item (the Scotch flow manager drains the
+        over-threshold excess — the most recent arrivals — to the
+        overlay)."""
+        return self._items.pop()
+
+    def peek(self) -> Any:
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __iter__(self):
+        return iter(self._items)
+
+
+class RoundRobinScheduler:
+    """Fair round-robin service over a dynamic set of named queues.
+
+    Queues are visited in the order they were first registered.  A
+    ``select`` call returns the key of the next non-empty queue after the
+    previously served one, or None if all queues are empty.
+    """
+
+    def __init__(self):
+        self._queues: "OrderedDict[Hashable, BoundedQueue]" = OrderedDict()
+        self._last_served: Optional[Hashable] = None
+
+    def add_queue(self, key: Hashable, queue: BoundedQueue) -> None:
+        if key in self._queues:
+            raise ValueError(f"queue {key!r} already registered")
+        self._queues[key] = queue
+
+    def get_queue(self, key: Hashable) -> Optional[BoundedQueue]:
+        return self._queues.get(key)
+
+    def queues(self) -> Dict[Hashable, BoundedQueue]:
+        return dict(self._queues)
+
+    def total_backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def select(self) -> Optional[Hashable]:
+        """Key of the next non-empty queue in rotation, or None."""
+        keys = list(self._queues.keys())
+        if not keys:
+            return None
+        if self._last_served in self._queues:
+            start = keys.index(self._last_served) + 1
+        else:
+            start = 0
+        for offset in range(len(keys)):
+            key = keys[(start + offset) % len(keys)]
+            if self._queues[key]:
+                return key
+        return None
+
+    def pop_next(self) -> Optional[Tuple[Hashable, Any]]:
+        """Dequeue one item from the next non-empty queue in rotation."""
+        key = self.select()
+        if key is None:
+            return None
+        self._last_served = key
+        return key, self._queues[key].pop()
+
+    def __iter__(self) -> Iterable[Hashable]:
+        return iter(self._queues)

@@ -1,0 +1,128 @@
+"""Rate-limited servers and token buckets.
+
+:class:`RateLimitedServer` is the workhorse used to model every finite-
+capacity control-path stage in the paper: the OFA's Packet-In generator,
+the OFA's rule-insertion engine, the controller's per-switch install rate
+R, and the vSwitch control agents.  It is a single-server FIFO queue with
+deterministic service time ``1 / rate`` and a bounded buffer; arrivals to
+a full buffer are dropped (and counted), which is exactly the behaviour
+observed in the paper's Figs. 3/4/9.
+
+:class:`TokenBucket` models policing (drop-only baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import BoundedQueue
+
+
+class RateLimitedServer:
+    """Single-server FIFO with service rate ``rate`` items/second.
+
+    ``handler(item)`` is invoked when an item completes service.  If
+    ``drop_handler`` is given it is invoked with each item dropped on
+    arrival to a full queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        queue_capacity: Optional[int],
+        handler: Callable[[Any], None],
+        name: str = "server",
+        drop_handler: Optional[Callable[[Any], None]] = None,
+    ):
+        if rate <= 0:
+            raise ValueError("service rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.handler = handler
+        self.drop_handler = drop_handler
+        self.name = name
+        self.queue = BoundedQueue(queue_capacity, name=f"{name}.queue")
+        self.busy = False
+        self.served = 0
+        self.dropped = 0
+
+    @property
+    def service_time(self) -> float:
+        return 1.0 / self.rate
+
+    def set_rate(self, rate: float) -> None:
+        """Change the service rate; takes effect for the next service."""
+        if rate <= 0:
+            raise ValueError("service rate must be positive")
+        self.rate = rate
+
+    def submit(self, item: Any) -> bool:
+        """Offer ``item``; returns False if it was dropped (queue full)."""
+        if not self.queue.offer(item):
+            self.dropped += 1
+            if self.drop_handler is not None:
+                self.drop_handler(item)
+            return False
+        if not self.busy:
+            self._begin_service()
+        return True
+
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def _begin_service(self) -> None:
+        self.busy = True
+        item = self.queue.pop()
+        self.sim.schedule(self.service_time, self._complete, item)
+
+    def _complete(self, item: Any) -> None:
+        self.served += 1
+        # Hand the item to the handler *before* starting the next service
+        # so downstream state reflects this completion at the same instant.
+        self.handler(item)
+        if self.queue:
+            self._begin_service()
+        else:
+            self.busy = False
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, burst ``capacity``.
+
+    Tokens are accrued lazily on each :meth:`allow` call, so the bucket
+    adds no events to the simulation calendar.
+    """
+
+    def __init__(self, sim: Simulator, rate: float, capacity: float):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.capacity = capacity
+        self._tokens = capacity
+        self._last_refill = sim.now
+        self.allowed = 0
+        self.denied = 0
+
+    def _refill(self) -> None:
+        elapsed = self.sim.now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+            self._last_refill = self.sim.now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; returns whether it conformed."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False

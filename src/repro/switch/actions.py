@@ -1,0 +1,80 @@
+"""OpenFlow actions.
+
+Actions are plain data; :mod:`repro.switch.datapath` interprets them.
+The subset implemented is exactly what Scotch's pipelines need: output,
+punt-to-controller, group indirection, MPLS push/pop (tunnel + ingress
+labels), GRE key set, goto-table, and drop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Action:
+    """Marker base class for all actions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Forward out a specific port."""
+
+    port_no: int
+
+
+@dataclass(frozen=True)
+class Controller(Action):
+    """Punt to the OFA for a Packet-In toward the controller.
+
+    ``reason`` is carried into the Packet-In (``"no_match"`` for table
+    misses, ``"action"`` for explicit punts).
+    """
+
+    reason: str = "action"
+
+
+@dataclass(frozen=True)
+class Group(Action):
+    """Hand the packet to a group-table entry (load balancing)."""
+
+    group_id: int
+
+
+@dataclass(frozen=True)
+class PushMpls(Action):
+    """Push an MPLS shim with the given label (becomes outermost)."""
+
+    label: int
+
+
+@dataclass(frozen=True)
+class PopMpls(Action):
+    """Pop the outermost MPLS shim; the label is recorded on the packet
+    (``popped_labels``) so the OFA can attach it to Packet-In metadata —
+    this is how the inner ingress-port label of paper §5.2 survives."""
+
+
+@dataclass(frozen=True)
+class SetGreKey(Action):
+    """Encapsulate in GRE with the given key (alternative to MPLS)."""
+
+    key: int
+
+
+@dataclass(frozen=True)
+class PopGre(Action):
+    """Remove the outermost GRE header, recording its key."""
+
+
+@dataclass(frozen=True)
+class GotoTable(Action):
+    """Continue the pipeline at a later table (OpenFlow 1.1+)."""
+
+    table_id: int
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    """Explicitly discard the packet."""

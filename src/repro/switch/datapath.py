@@ -1,0 +1,182 @@
+"""The switch data plane: multi-table pipeline with a forwarding budget.
+
+Packets arriving on any port enter a short hardware buffer and are
+processed at the switch's effective forwarding rate.  Processing walks
+the flow tables from table 0, executing the winning entry's actions
+(which may jump to a later table, hand the packet to a select group, or
+punt to the OFA on a table miss).
+
+The effective forwarding rate is queried from the OFA per packet — this
+is the Fig. 10 coupling: when the OFA is committing rules beyond the
+degradation knee, table lookups stall and the budget collapses, so the
+data path itself starts dropping even though the links are idle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+from repro.net.packet import GreHeader, MplsHeader, Packet
+from repro.switch.actions import (
+    Action,
+    Controller,
+    Drop,
+    GotoTable,
+    Group,
+    Output,
+    PopGre,
+    PopMpls,
+    PushMpls,
+    SetGreKey,
+)
+from repro.switch.flow_table import FlowTable
+from repro.switch.group_table import GroupTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.switch.switch import OpenFlowSwitch
+
+#: Hardware ingress buffer, in packet trains.
+INGRESS_BUFFER = 200
+
+#: What the pipeline does with a packet that misses every table.
+MISS_TO_CONTROLLER = "controller"
+MISS_DROP = "drop"
+
+
+class Datapath:
+    """Forwarding pipeline of one switch."""
+
+    def __init__(self, sim: "Simulator", switch: "OpenFlowSwitch"):
+        self.sim = sim
+        self.switch = switch
+        profile = switch.profile
+        # TCAM capacity constrains the main (first) table where reactive
+        # per-flow rules land; later tables hold static pipeline rules.
+        self.tables: List[FlowTable] = [
+            FlowTable(i, capacity=profile.tcam_capacity if i == 0 else None)
+            for i in range(profile.n_tables)
+        ]
+        self.groups = GroupTable()
+        self.miss_policy = MISS_TO_CONTROLLER
+        self._queue: Deque[Tuple[Packet, int]] = deque()
+        self._busy = False
+        self.processed = 0
+        self.dropped_no_buffer = 0
+        self.dropped_no_route = 0
+        self.dropped_policy = 0
+        self.punted = 0
+
+    def table(self, table_id: int) -> FlowTable:
+        return self.tables[table_id]
+
+    # ------------------------------------------------------------------
+    # Ingress / service loop
+    # ------------------------------------------------------------------
+    def submit(self, packet: Packet, in_port: int) -> None:
+        """Accept a packet from a port; drop-tail on the ingress buffer."""
+        if len(self._queue) >= INGRESS_BUFFER:
+            self.dropped_no_buffer += packet.count
+            return
+        self._queue.append((packet, in_port))
+        if not self._busy:
+            self._begin_service()
+
+    def _capacity(self) -> float:
+        ofa = getattr(self.switch, "ofa", None)
+        if ofa is not None:
+            return ofa.datapath_capacity()
+        return self.switch.profile.datapath_pps
+
+    def _begin_service(self) -> None:
+        self._busy = True
+        packet, in_port = self._queue.popleft()
+        service_time = packet.count / self._capacity()
+        self.sim.schedule(service_time, self._serve, packet, in_port)
+
+    def _serve(self, packet: Packet, in_port: int) -> None:
+        self.processed += packet.count
+        self.process(packet, in_port)
+        if self._queue:
+            self._begin_service()
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet, in_port: int) -> None:
+        """Run the packet through the tables, starting at table 0."""
+        packet.note_hop(self.switch.name)
+        table_id = 0
+        visited = set()
+        while True:
+            if table_id in visited:
+                raise RuntimeError(
+                    f"goto-table loop at {self.switch.name} table {table_id}"
+                )
+            visited.add(table_id)
+            entry = self.tables[table_id].lookup(packet, in_port, self.sim.now)
+            if entry is None:
+                self._miss(packet, in_port)
+                return
+            next_table = self.execute_actions(packet, entry.actions, in_port)
+            if next_table is None:
+                return
+            table_id = next_table
+
+    def _miss(self, packet: Packet, in_port: int) -> None:
+        if self.miss_policy == MISS_TO_CONTROLLER and self.switch.ofa is not None:
+            self.punted += 1
+            self.switch.ofa.punt(packet, in_port, reason="no_match")
+        else:
+            self.dropped_policy += packet.count
+
+    def execute_actions(
+        self, packet: Packet, actions: List[Action], in_port: int = 0
+    ) -> Optional[int]:
+        """Apply an action list; returns a table id if a GotoTable asks
+        the pipeline to continue, else None (packet fully handled)."""
+        for action in actions:
+            if isinstance(action, Output):
+                port = self.switch.ports.get(action.port_no)
+                if port is None:
+                    self.dropped_no_route += packet.count
+                    return None
+                port.send(packet)
+            elif isinstance(action, Controller):
+                self.punted += 1
+                self.switch.ofa.punt(packet, in_port, reason=action.reason)
+            elif isinstance(action, Group):
+                group = self.groups.get(action.group_id)
+                if group is None:
+                    self.dropped_no_route += packet.count
+                    return None
+                bucket = group.select_bucket(packet)
+                if bucket is None:
+                    self.dropped_no_route += packet.count
+                    return None
+                bucket.packets += packet.count
+                bucket.bytes += packet.size * packet.count
+                return self.execute_actions(packet, bucket.actions, in_port)
+            elif isinstance(action, PushMpls):
+                packet.push(MplsHeader(action.label))
+            elif isinstance(action, PopMpls):
+                header = packet.pop()
+                if isinstance(header, MplsHeader):
+                    packet.popped_labels.append(header.label)
+            elif isinstance(action, SetGreKey):
+                packet.push(GreHeader(action.key))
+            elif isinstance(action, PopGre):
+                header = packet.pop()
+                if isinstance(header, GreHeader):
+                    packet.popped_labels.append(header.key)
+            elif isinstance(action, GotoTable):
+                return action.table_id
+            elif isinstance(action, Drop):
+                self.dropped_policy += packet.count
+                return None
+            else:
+                raise TypeError(f"unknown action {action!r}")
+        return None

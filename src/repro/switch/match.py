@@ -1,0 +1,116 @@
+"""OpenFlow match semantics.
+
+A :class:`Match` is a set of exact field constraints; any field not
+mentioned is a wildcard.  Field values are extracted from the packet's
+*current* outermost view, OpenFlow-style: ``mpls_label`` matches the
+outermost MPLS shim, ``gre_key`` the outermost GRE key, and the IP/L4
+fields match the inner packet (our encapsulations do not hide the inner
+tuple from the model — a simplification that matches how the paper's
+switches match after decapsulation, and the pipelines built here always
+pop encapsulation before matching on the five-tuple).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.net.packet import Packet
+
+#: The fields a Match may constrain, in canonical order.
+MATCH_FIELDS: Tuple[str, ...] = (
+    "in_port",
+    "src_ip",
+    "dst_ip",
+    "proto",
+    "src_port",
+    "dst_port",
+    "mpls_label",
+    "gre_key",
+)
+
+#: Fields forming the exact five-tuple (used for the fast-path index).
+FIVE_TUPLE: Tuple[str, ...] = ("src_ip", "dst_ip", "proto", "src_port", "dst_port")
+
+
+def extract_fields(packet: Packet, in_port: int) -> Dict[str, object]:
+    """The header-field view the pipeline matches against."""
+    return {
+        "in_port": in_port,
+        "src_ip": packet.src_ip,
+        "dst_ip": packet.dst_ip,
+        "proto": packet.proto,
+        "src_port": packet.src_port,
+        "dst_port": packet.dst_port,
+        "mpls_label": packet.outer_mpls_label,
+        "gre_key": packet.outer_gre_key,
+    }
+
+
+class Match:
+    """An exact-fields-with-wildcards match."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, **fields: object):
+        unknown = set(fields) - set(MATCH_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown match fields: {sorted(unknown)}")
+        self.fields: Dict[str, object] = {k: v for k, v in fields.items() if v is not None}
+
+    @classmethod
+    def for_flow(cls, key) -> "Match":
+        """Exact five-tuple match for a FlowKey."""
+        return cls(
+            src_ip=key.src_ip,
+            dst_ip=key.dst_ip,
+            proto=key.proto,
+            src_port=key.src_port,
+            dst_port=key.dst_port,
+        )
+
+    @classmethod
+    def any(cls) -> "Match":
+        """The all-wildcard (table-miss) match."""
+        return cls()
+
+    @property
+    def is_exact_five_tuple(self) -> bool:
+        """True when this match pins exactly the five-tuple (no more, no less)."""
+        return set(self.fields) == set(FIVE_TUPLE)
+
+    @property
+    def has_five_tuple(self) -> bool:
+        """True when all five-tuple fields are pinned (possibly with
+        extra constraints) — such matches are hash-indexable per flow."""
+        return all(f in self.fields for f in FIVE_TUPLE)
+
+    def five_tuple_key(self) -> Tuple:
+        return tuple(self.fields[f] for f in FIVE_TUPLE)
+
+    def matches(self, fields: Dict[str, object]) -> bool:
+        """Whether a packet field view satisfies every constraint."""
+        for name, wanted in self.fields.items():
+            if fields.get(name) != wanted:
+                return False
+        return True
+
+    def matches_packet(self, packet: Packet, in_port: int) -> bool:
+        return self.matches(extract_fields(packet, in_port))
+
+    def covers(self, other: "Match") -> bool:
+        """True if every packet matching ``other`` also matches self."""
+        return all(other.fields.get(k) == v for k, v in self.fields.items())
+
+    def key(self) -> Tuple:
+        """A hashable identity (used for rule replacement/removal)."""
+        return tuple(sorted(self.fields.items(), key=lambda kv: kv[0]))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Match) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"Match({inner})" if inner else "Match(*)"

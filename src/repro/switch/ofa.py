@@ -1,0 +1,324 @@
+"""The OpenFlow Agent (OFA): the switch's weak software control plane.
+
+This module encodes the paper's three core measurements:
+
+1. **Packet-In generation is rate limited** (Fig. 4): packets punted by
+   the data plane enter a bounded queue served at
+   ``profile.packet_in_rate``; overflow packets are silently lost, which
+   is exactly how legitimate flows "fail" in Fig. 3.
+
+2. **Rule insertion loses requests beyond a lossless rate and saturates**
+   (Fig. 9): each FlowMod-ADD is subjected to a rate-dependent admission
+   (the fraction of rules actually committed falls as the attempted rate
+   grows past ``install_lossless_rate``), and commits are processed by a
+   server whose throughput caps at ``install_saturated_rate``.  The
+   resulting successful-rate curve is ``a`` for ``a <= lossless`` and
+   ``sat - (sat - lossless) * exp(-(a - lossless)/scale)`` beyond — a
+   smooth rise that flattens at the measured plateau.
+
+3. **Heavy rule writing stalls the data path** (Fig. 10): when the
+   attempted insertion rate exceeds ``profile.degradation_knee``, the
+   data plane's effective forwarding budget collapses to
+   ``profile.datapath_degraded_pps`` (the datapath queries
+   :meth:`datapath_capacity` per service).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.metrics.meters import RateEstimator
+from repro.openflow.messages import (
+    ADD,
+    DELETE,
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMessage,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    Message,
+    PacketIn,
+    PacketOut,
+)
+from repro.sim.ratelimit import RateLimitedServer
+from repro.switch.flow_table import FlowEntry, TableFullError
+from repro.switch.group_table import GroupEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.openflow.channel import ControlChannel
+    from repro.sim.engine import Simulator
+    from repro.switch.switch import OpenFlowSwitch
+
+#: Fixed OFA processing delay for cheap control messages (stats dump,
+#: echo, barrier): microseconds of CPU, not a throughput bottleneck.
+_CHEAP_MESSAGE_DELAY = 1e-3
+
+
+class OpenFlowAgent:
+    """Control agent of one switch."""
+
+    def __init__(self, sim: "Simulator", switch: "OpenFlowSwitch", channel: "ControlChannel"):
+        self.sim = sim
+        self.switch = switch
+        self.profile = switch.profile
+        self.channel = channel
+        channel.switch_sink = self.handle_from_controller
+
+        self._rng = sim.rng.stream(f"ofa:{switch.name}")
+        self.packet_in_server = RateLimitedServer(
+            sim,
+            rate=self.profile.packet_in_rate,
+            queue_capacity=self.profile.packet_in_queue,
+            handler=self._emit_packet_in,
+            name=f"{switch.name}.packet-in",
+        )
+        self.install_server = RateLimitedServer(
+            sim,
+            rate=self.profile.install_saturated_rate,
+            queue_capacity=self.profile.install_queue,
+            handler=self._commit_flow_mod,
+            name=f"{switch.name}.install",
+        )
+        # Window-limited so the estimate decays once insertions stop;
+        # 32 events keeps the estimator responsive at hundreds/second.
+        self._attempt_meter = RateEstimator(window_events=32, window_seconds=1.0)
+
+        self.packet_ins_sent = 0
+        self.packet_ins_dropped = 0
+        self.flow_removed_sent = 0
+        self.installs_attempted = 0
+        self.installs_succeeded = 0
+        self.installs_failed = 0
+        self.table_full_failures = 0
+
+    # ------------------------------------------------------------------
+    # Data plane -> controller (Packet-In)
+    # ------------------------------------------------------------------
+    def punt(self, packet: "Packet", in_port: int, reason: str) -> bool:
+        """Queue a packet for Packet-In generation.  Returns False when
+        the OFA queue overflowed (the packet, and with it the flow's
+        setup chance, is lost)."""
+        accepted = self.packet_in_server.submit((packet, in_port, reason))
+        if not accepted:
+            self.packet_ins_dropped += 1
+        return accepted
+
+    def _emit_packet_in(self, item) -> None:
+        packet, in_port, reason = item
+        metadata = dict(packet.metadata)
+        if packet.popped_labels:
+            # Scotch two-label scheme (§5.2): outermost label was the
+            # tunnel id, the inner one encodes the original ingress port.
+            metadata["tunnel_id"] = packet.popped_labels[0]
+            if len(packet.popped_labels) > 1:
+                metadata["inner_label"] = packet.popped_labels[1]
+        message = PacketIn(
+            datapath_id=self.switch.name,
+            packet=packet,
+            in_port=in_port,
+            reason=reason,
+            metadata=metadata,
+        )
+        self.packet_ins_sent += 1
+        self.channel.send_to_controller(message)
+
+    # ------------------------------------------------------------------
+    # Controller -> switch
+    # ------------------------------------------------------------------
+    def handle_from_controller(self, message: Message) -> None:
+        if not self.switch.alive:
+            return
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, GroupMod):
+            self._handle_group_mod(message)
+        elif isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, FlowStatsRequest):
+            self.sim.schedule(_CHEAP_MESSAGE_DELAY, self._reply_flow_stats, message)
+        elif isinstance(message, PortStatsRequest):
+            self.sim.schedule(_CHEAP_MESSAGE_DELAY, self._reply_port_stats, message)
+        elif isinstance(message, EchoRequest):
+            self.sim.schedule(
+                _CHEAP_MESSAGE_DELAY,
+                self.channel.send_to_controller,
+                EchoReply(request_xid=message.xid, datapath_id=self.switch.name),
+            )
+        elif isinstance(message, BarrierRequest):
+            self.sim.schedule(
+                _CHEAP_MESSAGE_DELAY,
+                self.channel.send_to_controller,
+                BarrierReply(request_xid=message.xid, datapath_id=self.switch.name),
+            )
+        else:
+            raise TypeError(f"OFA cannot handle {type(message).__name__}")
+
+    # -- rule installation ---------------------------------------------
+    def attempted_install_rate(self) -> float:
+        """Current attempted FlowMod-ADD rate estimate (rules/second)."""
+        return self._attempt_meter.rate(self.sim.now)
+
+    def _success_probability(self, attempted_rate: float) -> float:
+        """P(commit) such that successful-rate follows the Fig. 9 curve."""
+        lossless = self.profile.install_lossless_rate
+        sat = self.profile.install_saturated_rate
+        if attempted_rate <= lossless:
+            return 1.0
+        # Tangent to the identity at the lossless point (scale equals the
+        # plateau gap), so successful-rate is continuous, stays strictly
+        # below attempted beyond the lossless rate, and flattens at the
+        # measured plateau.
+        scale = max(1.0, sat - lossless)
+        successful = sat - (sat - lossless) * math.exp(-(attempted_rate - lossless) / scale)
+        return min(1.0, successful / attempted_rate)
+
+    def _handle_flow_mod(self, message: FlowMod) -> None:
+        if message.command == DELETE:
+            # Deletions are cheap OFA work and never the measured
+            # bottleneck; apply after the fixed processing delay.
+            self.sim.schedule(_CHEAP_MESSAGE_DELAY, self._apply_delete, message)
+            return
+        self.installs_attempted += 1
+        self._attempt_meter.observe(self.sim.now)
+        if self._rng.random() > self._success_probability(self.attempted_install_rate()):
+            self.installs_failed += 1
+            return
+        if not self.install_server.submit(message):
+            self.installs_failed += 1
+
+    def _commit_flow_mod(self, message: FlowMod) -> None:
+        table = self.switch.datapath.table(message.table_id)
+        entry = FlowEntry(
+            match=message.match,
+            priority=message.priority,
+            actions=message.actions,
+            idle_timeout=message.idle_timeout,
+            hard_timeout=message.hard_timeout,
+            cookie=message.cookie,
+            notify_removal=message.notify_removal,
+        )
+        try:
+            table.insert(entry, now=self.sim.now)
+        except TableFullError:
+            self.table_full_failures += 1
+            self.installs_failed += 1
+            # Real switches report this (OFPFMFC_TABLE_FULL); the §3.3
+            # TCAM-bottleneck mitigation depends on the controller
+            # seeing it.
+            self.channel.send_to_controller(
+                ErrorMessage(
+                    datapath_id=self.switch.name,
+                    error_type="flow_mod_failed",
+                    code="table_full",
+                    failed_xid=message.xid,
+                )
+            )
+            return
+        self.installs_succeeded += 1
+
+    def _apply_delete(self, message: FlowMod) -> None:
+        table = self.switch.datapath.table(message.table_id)
+        table.remove(message.match, message.priority if message.priority else None)
+
+    # -- groups, packet-out, stats ---------------------------------------
+    def _handle_group_mod(self, message: GroupMod) -> None:
+        groups = self.switch.datapath.groups
+        if message.command == DELETE:
+            groups.remove(message.group_id)
+            return
+        entry = GroupEntry(
+            group_id=message.group_id,
+            group_type=message.group_type,
+            buckets=message.buckets,
+            hash_seed=self.switch.hash_seed,
+        )
+        # ADD on an existing group is treated as replace (keeps
+        # re-activation idempotent, matching OVS's permissive behaviour).
+        if message.command == ADD and entry.group_id not in groups:
+            groups.add(entry)
+        else:
+            groups.modify(entry)
+
+    def _handle_packet_out(self, message: PacketOut) -> None:
+        if message.packet is None:
+            return
+        self.switch.datapath.execute_actions(
+            message.packet, message.actions, in_port=message.in_port
+        )
+
+    def _reply_flow_stats(self, request: FlowStatsRequest) -> None:
+        entries = []
+        for table in self.switch.datapath.tables:
+            if request.table_id is not None and table.table_id != request.table_id:
+                continue
+            for rule in table.entries():
+                if request.match is not None and not request.match.covers(rule.match):
+                    continue
+                entries.append(
+                    FlowStatsEntry(
+                        match=rule.match,
+                        priority=rule.priority,
+                        table_id=table.table_id,
+                        packets=rule.packets,
+                        bytes=rule.bytes,
+                        duration=self.sim.now - rule.installed_at,
+                        cookie=rule.cookie,
+                    )
+                )
+        reply = FlowStatsReply(
+            datapath_id=self.switch.name, entries=entries, request_xid=request.xid
+        )
+        self.channel.send_to_controller(reply)
+
+    def _reply_port_stats(self, request: PortStatsRequest) -> None:
+        entries = [
+            PortStatsEntry(port_no=port.port_no, tx_packets=port.tx_packets,
+                           tx_bytes=port.tx_bytes)
+            for port in self.switch.ports.values()
+            if request.port_no is None or port.port_no == request.port_no
+        ]
+        self.channel.send_to_controller(
+            PortStatsReply(datapath_id=self.switch.name, entries=entries,
+                           request_xid=request.xid)
+        )
+
+    # ------------------------------------------------------------------
+    # Rule expiry notifications
+    # ------------------------------------------------------------------
+    def notify_flow_removed(self, entry, reason: str, table_id: int) -> None:
+        """Called by the datapath's tables when a flagged rule expires."""
+        if not entry.notify_removal or not self.switch.alive:
+            return
+        message = FlowRemoved(
+            datapath_id=self.switch.name,
+            match=entry.match,
+            priority=entry.priority,
+            table_id=table_id,
+            reason=reason,
+            packets=entry.packets,
+            bytes=entry.bytes,
+            duration=self.sim.now - entry.installed_at,
+            cookie=entry.cookie,
+        )
+        self.flow_removed_sent += 1
+        self.sim.schedule(_CHEAP_MESSAGE_DELAY, self.channel.send_to_controller, message)
+
+    # ------------------------------------------------------------------
+    # Data-path interaction (Fig. 10)
+    # ------------------------------------------------------------------
+    def datapath_capacity(self) -> float:
+        """Effective forwarding budget given current rule-write activity."""
+        if self.attempted_install_rate() > self.profile.degradation_knee:
+            return self.profile.datapath_degraded_pps
+        return self.profile.datapath_pps

@@ -1,0 +1,155 @@
+"""Calibrated switch device models.
+
+Every control-path behaviour the paper measures is encoded here as an
+explicit constant, with the figure it came from.  The OCR of the paper
+text dropped trailing zeros from most numbers; each reconstruction below
+is cross-checked against an internal consistency constraint from the
+text (see DESIGN.md §7).
+
+Pica8 Pronto 3780 (the paper's main switch):
+
+* **Packet-In capacity 200 msg/s** — Fig. 4 shows Packet-In rate, rule
+  insertion rate and successful flow rate are *identical* and that the
+  OFA's Packet-In generation is the bottleneck; §6.1 shows insertions are
+  lossless only up to 200/s, and the Fig. 3 failure curve needs a
+  capacity of this order (client 100 f/s + attack 100..3800 f/s).
+* **Rule insertion: lossless <= 200 r/s, saturating ~= 1000 r/s** —
+  Fig. 9: "able to handle up to 200 rules/second without loss. After
+  that, some rule requests are not installed ... the successful
+  insertion rate flattens out at about 1000 rules/second."
+* **Data-path degradation knee 1300 r/s** — Fig. 10: "turning point at a
+  rule insertion rate of 1300 rules/second. The data path loss rate
+  exceeds 90%" beyond it, at data rates 500/1000/2000 pps.
+
+HP Procurve 6600: Fig. 3 shows a lower failure fraction than Pica8 at
+equal attack rates ("the Procurve switch has higher OFA throughput"), and
+§3.3 notes it lacks the advanced data-plane features (tunnels, multiple
+tables, groups) — which is why the paper (and our deployment scenarios)
+use Pica8 as the Scotch physical switch.
+
+Open vSwitch on a Xeon E5-1650: Fig. 3 shows near-zero client failure
+until the attack rate approaches its multi-thousand-msg/s agent capacity;
+§4 notes vSwitches trade higher control-path capacity for lower data-path
+throughput than hardware switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """Static performance envelope of a switch model."""
+
+    name: str
+    #: OFA Packet-In generation capacity, messages/second.
+    packet_in_rate: float
+    #: OFA input queue ahead of Packet-In generation, packets.
+    packet_in_queue: int
+    #: Rule-insertion rate with zero loss (Fig. 9 lower break).
+    install_lossless_rate: float
+    #: Asymptotic successful insertion rate under overload (Fig. 9 plateau).
+    install_saturated_rate: float
+    #: OFA queue of pending FlowMods.
+    install_queue: int
+    #: Hardware forwarding budget, packets/second.
+    datapath_pps: float
+    #: Forwarding budget while the OFA writes rules beyond the knee.
+    datapath_degraded_pps: float
+    #: Attempted-insertion rate at which lookups start stalling (Fig. 10).
+    degradation_knee: float
+    #: Data-port line rate, bits/second.
+    port_rate_bps: float
+    #: Flow-table (TCAM) capacity, entries; None = effectively unbounded.
+    tcam_capacity: int
+    #: Number of pipeline tables (HP's OpenFlow 1.0 build has one).
+    n_tables: int
+    #: OpenFlow 1.3 group-table support.
+    supports_groups: bool
+    #: Data-plane tunnel encap/decap support.
+    supports_tunnels: bool
+    #: One-way control-channel latency to the controller, seconds.
+    control_latency: float
+
+    def variant(self, **overrides) -> "SwitchProfile":
+        """A copy with some fields overridden (for sensitivity sweeps)."""
+        return replace(self, **overrides)
+
+
+PICA8_PRONTO_3780 = SwitchProfile(
+    name="Pica8 Pronto 3780",
+    packet_in_rate=200.0,
+    packet_in_queue=50,
+    install_lossless_rate=200.0,
+    install_saturated_rate=1000.0,
+    install_queue=100,
+    datapath_pps=5_000_000.0,  # wire-speed 10G at ~250B avg; far above any test load
+    datapath_degraded_pps=40.0,  # Fig. 10: >90% loss at 500..2000 pps beyond knee
+    degradation_knee=1300.0,
+    port_rate_bps=10e9,
+    tcam_capacity=8192,
+    n_tables=4,
+    supports_groups=True,
+    supports_tunnels=True,
+    control_latency=0.5e-3,
+)
+
+HP_PROCURVE_6600 = SwitchProfile(
+    name="HP Procurve 6600",
+    packet_in_rate=450.0,
+    packet_in_queue=50,
+    install_lossless_rate=450.0,
+    install_saturated_rate=800.0,
+    install_queue=100,
+    datapath_pps=1_500_000.0,
+    datapath_degraded_pps=100.0,
+    degradation_knee=900.0,
+    port_rate_bps=1e9,
+    tcam_capacity=4096,
+    n_tables=1,
+    supports_groups=False,
+    supports_tunnels=False,
+    control_latency=0.5e-3,
+)
+
+OPEN_VSWITCH = SwitchProfile(
+    name="Open vSwitch (Xeon E5-1650)",
+    packet_in_rate=4000.0,
+    packet_in_queue=500,
+    install_lossless_rate=20000.0,
+    install_saturated_rate=40000.0,
+    install_queue=2000,
+    datapath_pps=300_000.0,  # software datapath: far below hardware wire speed
+    datapath_degraded_pps=300_000.0,  # no HW/SW write contention on OVS
+    degradation_knee=float("inf"),
+    port_rate_bps=1e9,
+    tcam_capacity=100_000,
+    n_tables=8,
+    supports_groups=True,
+    supports_tunnels=True,
+    control_latency=0.2e-3,
+)
+
+#: Host-hypervisor vSwitch used only for final delivery to VMs.
+HOST_VSWITCH = OPEN_VSWITCH.variant(name="host vSwitch")
+
+#: An idealized switch with no control-path limits, for unit tests that
+#: exercise pipeline semantics rather than performance.
+IDEAL_SWITCH = SwitchProfile(
+    name="ideal",
+    packet_in_rate=1e9,
+    packet_in_queue=10_000_000,
+    install_lossless_rate=1e9,
+    install_saturated_rate=1e9,
+    install_queue=10_000_000,
+    datapath_pps=1e12,
+    datapath_degraded_pps=1e12,
+    degradation_knee=float("inf"),
+    port_rate_bps=100e9,
+    tcam_capacity=10_000_000,
+    n_tables=8,
+    supports_groups=True,
+    supports_tunnels=True,
+    control_latency=0.1e-3,
+)

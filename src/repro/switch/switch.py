@@ -1,0 +1,150 @@
+"""Switch node types.
+
+:class:`OpenFlowSwitch` composes a :class:`~repro.switch.datapath.Datapath`
+(hardware) with an :class:`~repro.switch.ofa.OpenFlowAgent` (weak control
+CPU) behind a :class:`~repro.openflow.channel.ControlChannel`.
+
+:class:`PhysicalSwitch` and :class:`VSwitch` differ only in their default
+profile and in deployment-level roles (Scotch pools vSwitches into the
+overlay mesh; physical switches carry the underlay).
+
+Static configuration (the offline tunnel setup of paper §5.6) bypasses
+the OFA entirely via :meth:`install_static` / :meth:`add_static_group` —
+it happens before traffic and is explicitly not part of the measured
+reactive load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.net.node import Node
+from repro.openflow.channel import ControlChannel
+from repro.switch.actions import Action
+from repro.switch.datapath import Datapath
+from repro.switch.flow_table import FlowEntry
+from repro.switch.group_table import GroupEntry
+from repro.switch.match import Match
+from repro.switch.ofa import OpenFlowAgent
+from repro.switch.profiles import OPEN_VSWITCH, PICA8_PRONTO_3780, SwitchProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.sim.engine import Simulator
+
+
+class OpenFlowSwitch(Node):
+    """A complete OpenFlow switch: data plane + OFA + control channel."""
+
+    #: Period of the background expiry sweep that evicts timed-out rules
+    #: and emits FlowRemoved for flagged ones; 0 disables the sweep.
+    EXPIRY_SWEEP_INTERVAL = 1.0
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        profile: SwitchProfile,
+        control_latency: Optional[float] = None,
+        hash_seed: int = 0,
+        expiry_sweep_interval: Optional[float] = None,
+    ):
+        super().__init__(sim, name)
+        self.profile = profile
+        self.alive = True
+        self.hash_seed = hash_seed
+        self.ofa: Optional[OpenFlowAgent] = None  # set after datapath exists
+        self.datapath = Datapath(sim, self)
+        latency = control_latency if control_latency is not None else profile.control_latency
+        self.channel = ControlChannel(sim, name, latency)
+        self.ofa = OpenFlowAgent(sim, self, self.channel)
+        for table in self.datapath.tables:
+            table.on_expired = self._make_expiry_notifier(table.table_id)
+        interval = (
+            expiry_sweep_interval
+            if expiry_sweep_interval is not None
+            else self.EXPIRY_SWEEP_INTERVAL
+        )
+        self._sweep_interval = interval
+        if interval > 0:
+            sim.schedule(interval, self._sweep, daemon=True)
+
+    def _make_expiry_notifier(self, table_id: int):
+        def notify(entry, reason: str) -> None:
+            self.ofa.notify_flow_removed(entry, reason, table_id)
+
+        return notify
+
+    def _sweep(self) -> None:
+        if self.alive:
+            for table in self.datapath.tables:
+                table.expire(self.sim.now)
+        self.sim.schedule(self._sweep_interval, self._sweep, daemon=True)
+
+    # ------------------------------------------------------------------
+    # Data plane entry
+    # ------------------------------------------------------------------
+    def receive(self, packet: "Packet", in_port: int) -> None:
+        if not self.alive:
+            return
+        self.datapath.submit(packet, in_port)
+
+    # ------------------------------------------------------------------
+    # Offline (static) configuration — no OFA involvement
+    # ------------------------------------------------------------------
+    def install_static(
+        self,
+        match: Match,
+        priority: int,
+        actions: List[Action],
+        table_id: int = 0,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: Optional[object] = None,
+    ) -> FlowEntry:
+        entry = FlowEntry(
+            match=match,
+            priority=priority,
+            actions=actions,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            cookie=cookie,
+        )
+        self.datapath.table(table_id).insert(entry, now=self.sim.now)
+        return entry
+
+    def add_static_group(self, entry: GroupEntry) -> None:
+        entry.hash_seed = self.hash_seed
+        self.datapath.groups.add(entry)
+
+    # ------------------------------------------------------------------
+    # Failure model (paper §5.6)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the switch: stops forwarding and control responses."""
+        self.alive = False
+        self.channel.disconnect()
+
+    def recover(self) -> None:
+        self.alive = True
+        self.channel.reconnect()
+
+    def expire_rules(self) -> None:
+        """Sweep timed-out entries from every table (called periodically
+        by scenarios that rely on idle timeouts)."""
+        for table in self.datapath.tables:
+            table.expire(self.sim.now)
+
+
+class PhysicalSwitch(OpenFlowSwitch):
+    """A hardware underlay switch (defaults to the Pica8 Pronto model)."""
+
+    def __init__(self, sim: "Simulator", name: str, profile: SwitchProfile = PICA8_PRONTO_3780, **kwargs):
+        super().__init__(sim, name, profile, **kwargs)
+
+
+class VSwitch(OpenFlowSwitch):
+    """A software vSwitch on a hypervisor (defaults to the OVS model)."""
+
+    def __init__(self, sim: "Simulator", name: str, profile: SwitchProfile = OPEN_VSWITCH, **kwargs):
+        super().__init__(sim, name, profile, **kwargs)

@@ -1,0 +1,182 @@
+"""The full Scotch deployment (paper Fig. 5).
+
+Topology::
+
+    client, attacker --- edge switch --- spine --- ToR_i --- host vSwitch_i --- servers
+                                           |          |
+                                     (middlebox)   mesh vSwitch(es)
+
+* physical switches: one edge (where external traffic enters), one
+  spine, one ToR per rack — all Pica8-profile (the Scotch-capable
+  switch);
+* per rack: a host vSwitch fronting the rack's servers and one or more
+  mesh vSwitches for the overlay;
+* optionally a stateful firewall hanging off S_U=edge / S_D=spine, with
+  a policy forcing all server-bound traffic through it;
+* the Scotch overlay fully built offline: mesh tunnels, switch tunnels,
+  delivery tunnels, static rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.controller.controller import OpenFlowController
+from repro.core.app import ScotchApp
+from repro.core.config import ScotchConfig
+from repro.core.overlay import ScotchOverlay
+from repro.core.policy import Policy, PolicyRegistry
+from repro.net.host import Host
+from repro.net.middlebox import Firewall
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.switch.profiles import OPEN_VSWITCH, PICA8_PRONTO_3780, SwitchProfile
+from repro.switch.switch import PhysicalSwitch, VSwitch
+
+#: Link speeds.
+FABRIC_BPS = 10e9
+HOST_BPS = 1e9
+
+
+@dataclass
+class Deployment:
+    """Handles to everything in the deployment."""
+
+    sim: Simulator
+    network: Network
+    controller: OpenFlowController
+    overlay: ScotchOverlay
+    policy: PolicyRegistry
+    scotch: Optional[ScotchApp]
+    edge: PhysicalSwitch
+    spine: PhysicalSwitch
+    tors: List[PhysicalSwitch]
+    mesh_vswitches: List[VSwitch]
+    host_vswitches: List[VSwitch]
+    servers: List[Host]
+    client: Host
+    attacker: Host
+    firewall: Optional[Firewall] = None
+
+    @property
+    def server(self) -> Host:
+        return self.servers[0]
+
+    def server_ips(self) -> List[str]:
+        return [s.ip for s in self.servers]
+
+
+def build_deployment(
+    seed: int = 0,
+    racks: int = 2,
+    servers_per_rack: int = 2,
+    mesh_per_rack: int = 1,
+    backups: int = 0,
+    switch_profile: SwitchProfile = PICA8_PRONTO_3780,
+    vswitch_profile: SwitchProfile = OPEN_VSWITCH,
+    config: Optional[ScotchConfig] = None,
+    with_firewall: bool = False,
+    add_scotch_app: bool = True,
+) -> Deployment:
+    """Build the deployment and (optionally) start the Scotch app."""
+    if racks < 1 or servers_per_rack < 1 or mesh_per_rack < 1:
+        raise ValueError("racks, servers_per_rack, mesh_per_rack must be >= 1")
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    config = config or ScotchConfig()
+
+    edge = network.add(PhysicalSwitch(sim, "edge", switch_profile))
+    spine = network.add(PhysicalSwitch(sim, "spine", switch_profile))
+    network.link("edge", "spine", FABRIC_BPS)
+
+    client = network.add(Host(sim, "client", "10.20.0.1"))
+    attacker = network.add(Host(sim, "attacker", "10.99.0.1"))
+    network.link("client", "edge", HOST_BPS)
+    network.link("attacker", "edge", HOST_BPS)
+
+    tors: List[PhysicalSwitch] = []
+    mesh_vswitches: List[VSwitch] = []
+    host_vswitches: List[VSwitch] = []
+    servers: List[Host] = []
+    overlay = ScotchOverlay(network, config)
+
+    for rack in range(racks):
+        tor = network.add(PhysicalSwitch(sim, f"tor{rack}", switch_profile))
+        network.link(tor.name, "spine", FABRIC_BPS)
+        tors.append(tor)
+        hv = network.add(VSwitch(sim, f"hv{rack}", vswitch_profile))
+        network.link(hv.name, tor.name, HOST_BPS)
+        host_vswitches.append(hv)
+        for index in range(servers_per_rack):
+            server = network.add(Host(sim, f"server{rack}_{index}", f"10.0.{rack}.{10 + index}"))
+            network.link(server.name, hv.name, HOST_BPS)
+            servers.append(server)
+        for index in range(mesh_per_rack):
+            mv = network.add(VSwitch(sim, f"mv{rack}_{index}", vswitch_profile))
+            network.link(mv.name, tor.name, HOST_BPS)
+            mesh_vswitches.append(mv)
+            overlay.add_mesh_vswitch(mv.name)
+    for index in range(backups):
+        bv = network.add(VSwitch(sim, f"bv{index}", vswitch_profile))
+        network.link(bv.name, tors[index % racks].name, HOST_BPS)
+        mesh_vswitches.append(bv)
+        overlay.add_mesh_vswitch(bv.name, backup=True)
+
+    # Overlay delivery mappings + tunnels (offline configuration).
+    for rack in range(racks):
+        local_mesh = f"mv{rack}_0"
+        for index in range(servers_per_rack):
+            overlay.set_host_delivery(f"server{rack}_{index}", f"hv{rack}", local_mesh)
+    # External hosts are reachable via direct delivery tunnels too (so
+    # reverse/odd traffic cannot strand); their local mesh is rack 0's.
+    overlay.set_host_delivery("client", None, "mv0_0")
+    overlay.set_host_delivery("attacker", None, "mv0_0")
+
+    for switch in [edge, spine] + tors:
+        overlay.register_switch(switch.name)
+
+    controller = OpenFlowController(sim, network)
+    for name, node in network.nodes.items():
+        if isinstance(node, (PhysicalSwitch, VSwitch)):
+            controller.register_switch(node)
+
+    policy = PolicyRegistry(network, overlay)
+    firewall: Optional[Firewall] = None
+    if with_firewall:
+        firewall = network.add(Firewall(sim, "fw0"))
+        network.link("edge", "fw0", FABRIC_BPS)
+        network.link("fw0", "spine", FABRIC_BPS)
+        network.exclude_from_routing("fw0")
+        policy.attach_middlebox("fw0", upstream="edge", downstream="spine")
+        server_ips = {s.ip for s in servers}
+        policy.add_policy(
+            Policy(
+                name="servers-behind-fw",
+                predicate=lambda key, ips=server_ips: key.dst_ip in ips,
+                chain=["fw0"],
+            )
+        )
+
+    scotch: Optional[ScotchApp] = None
+    if add_scotch_app:
+        scotch = ScotchApp(overlay, config=config, policy=policy)
+        controller.add_app(scotch)
+
+    return Deployment(
+        sim=sim,
+        network=network,
+        controller=controller,
+        overlay=overlay,
+        policy=policy,
+        scotch=scotch,
+        edge=edge,
+        spine=spine,
+        tors=tors,
+        mesh_vswitches=mesh_vswitches,
+        host_vswitches=host_vswitches,
+        servers=servers,
+        client=client,
+        attacker=attacker,
+        firewall=firewall,
+    )

@@ -1,0 +1,132 @@
+"""New-flow generators for legitimate clients.
+
+Per the paper's methodology (§3.2), each generated flow has a unique
+five-tuple so the switch treats every flow's first packet as a table
+miss; the client tap + server tap pair then yields the failure fraction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.net.addresses import make_ip
+from repro.net.flow import FlowKey, FlowSpec
+from repro.net.packet import PROTO_TCP
+from repro.sim.process import Process
+from repro.traffic.sizes import FixedSize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.sim.engine import Simulator
+
+
+def flow_key_sequence(
+    dst_ip: str,
+    dst_port: int = 80,
+    src_net: int = 20,
+    proto: int = PROTO_TCP,
+    source_pool: Optional[int] = None,
+) -> Iterator[FlowKey]:
+    """An endless stream of unique five-tuples toward one destination.
+
+    By default source addresses walk ``10.<src_net>.x.y`` and ports walk
+    the ephemeral range, guaranteeing uniqueness for billions of flows
+    without randomness (so client flows never collide with the
+    attacker's random spoofed sources, which use non-10/8 space).
+
+    ``source_pool`` limits the distinct sources to that many addresses
+    (ports vary instead) — the shape of a *flash crowd*: many flows from
+    a bounded set of real clients, as opposed to a spoofed flood's fresh
+    source per packet.
+    """
+    index = 0
+    while True:
+        if source_pool is not None:
+            src_ip = make_ip(src_net, index % source_pool)
+            src_port = 1024 + (index // source_pool) % 60000
+        else:
+            src_ip = make_ip(src_net, index % 65536)
+            src_port = 1024 + (index // 65536) % 60000
+        yield FlowKey(src_ip, dst_ip, proto, src_port, dst_port)
+        index += 1
+
+
+class NewFlowSource:
+    """Generates new flows from a host at a configurable rate.
+
+    ``poisson=False`` gives the constant spacing the paper's profiling
+    experiments use; ``poisson=True`` gives memoryless arrivals for the
+    trace-style scenarios.  Flow sizes come from a size model
+    (default: single-packet flows, the paper's stress shape).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        dst_ip: str,
+        rate_fps: float,
+        dst_port: int = 80,
+        src_net: int = 20,
+        sizes=None,
+        poisson: bool = False,
+        rng_name: Optional[str] = None,
+        batch: int = 1,
+        jitter: float = 0.05,
+        source_pool: Optional[int] = None,
+    ):
+        if rate_fps <= 0:
+            raise ValueError("flow rate must be positive")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        if source_pool is not None and source_pool < 1:
+            raise ValueError("source_pool must be positive")
+        self.jitter = jitter
+        self.source_pool = source_pool
+        self.sim = sim
+        self.host = host
+        self.rate_fps = rate_fps
+        self.sizes = sizes or FixedSize()
+        self.poisson = poisson
+        self.batch = batch
+        self._keys = flow_key_sequence(
+            dst_ip, dst_port=dst_port, src_net=src_net, source_pool=source_pool
+        )
+        self._rng = sim.rng.stream(rng_name or f"client:{host.name}")
+        self.flows_started = 0
+        self._process: Optional[Process] = None
+
+    def start(self, at: float = 0.0, stop_at: Optional[float] = None) -> None:
+        self._stop_at = stop_at
+        self._process = Process(self.sim, self._run(), start_delay=at)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+
+    def _next_gap(self) -> float:
+        """Inter-flow gap.  Constant-rate gaps get a small multiplicative
+        jitter — the OS scheduling noise real traffic tools exhibit —
+        which prevents artificial phase locking between CBR sources and
+        the OFA's deterministic service clock."""
+        if self.poisson:
+            return self._rng.expovariate(self.rate_fps)
+        gap = 1.0 / self.rate_fps
+        if self.jitter:
+            gap *= self._rng.uniform(1 - self.jitter, 1 + self.jitter)
+        return gap
+
+    def _run(self):
+        while self._stop_at is None or self.sim.now < self._stop_at:
+            sample = self.sizes.sample(self._rng)
+            spec = FlowSpec(
+                key=next(self._keys),
+                start_time=self.sim.now,
+                size_packets=sample.size_packets,
+                packet_size=sample.packet_size,
+                rate_pps=sample.rate_pps,
+                batch=self.batch,
+            )
+            self.host.start_flow(spec)
+            self.flows_started += 1
+            yield self._next_gap()

@@ -1,0 +1,77 @@
+"""Flow size models.
+
+The migration design rests on the measured skew the paper cites:
+"Measurement studies have shown that the majority of link capacity is
+consumed by a small fraction of large flows" (§5.3, citing [1]).
+:class:`HeavyTailedSizes` reproduces that skew with a mice/elephant
+mixture: flows are small with high probability, and a small elephant
+fraction carries most bytes (Pareto-tailed sizes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SizeSample:
+    """One sampled flow: packet count, per-packet bytes, send rate."""
+
+    size_packets: int
+    packet_size: int
+    rate_pps: float
+    is_elephant: bool = False
+
+
+class FixedSize:
+    """Every flow identical — the paper's stress tests use 1-packet flows."""
+
+    def __init__(self, size_packets: int = 1, packet_size: int = 1500, rate_pps: float = 100.0):
+        self.size_packets = size_packets
+        self.packet_size = packet_size
+        self.rate_pps = rate_pps
+
+    def sample(self, rng: random.Random) -> SizeSample:
+        return SizeSample(self.size_packets, self.packet_size, self.rate_pps)
+
+
+class HeavyTailedSizes:
+    """Mice/elephant mixture with Pareto-tailed elephant sizes.
+
+    Defaults produce ~95% mice averaging a handful of packets and ~5%
+    elephants averaging ``elephant_mean_pkts``, so elephants carry the
+    large majority of bytes.
+    """
+
+    def __init__(
+        self,
+        elephant_fraction: float = 0.05,
+        mice_mean_pkts: float = 5.0,
+        elephant_mean_pkts: float = 2000.0,
+        pareto_alpha: float = 1.5,
+        packet_size: int = 1500,
+        mice_rate_pps: float = 100.0,
+        elephant_rate_pps: float = 2000.0,
+    ):
+        if not 0 <= elephant_fraction <= 1:
+            raise ValueError("elephant_fraction must be in [0, 1]")
+        if pareto_alpha <= 1:
+            raise ValueError("pareto_alpha must exceed 1 for a finite mean")
+        self.elephant_fraction = elephant_fraction
+        self.mice_mean_pkts = mice_mean_pkts
+        self.elephant_mean_pkts = elephant_mean_pkts
+        self.pareto_alpha = pareto_alpha
+        self.packet_size = packet_size
+        self.mice_rate_pps = mice_rate_pps
+        self.elephant_rate_pps = elephant_rate_pps
+        # Pareto minimum chosen so the tail mean equals elephant_mean_pkts:
+        # E[X] = alpha * xm / (alpha - 1).
+        self._pareto_xm = elephant_mean_pkts * (pareto_alpha - 1) / pareto_alpha
+
+    def sample(self, rng: random.Random) -> SizeSample:
+        if rng.random() < self.elephant_fraction:
+            size = max(2, int(self._pareto_xm * rng.paretovariate(self.pareto_alpha)))
+            return SizeSample(size, self.packet_size, self.elephant_rate_pps, is_elephant=True)
+        size = max(1, int(rng.expovariate(1.0 / self.mice_mean_pkts)) + 1)
+        return SizeSample(size, self.packet_size, self.mice_rate_pps, is_elephant=False)

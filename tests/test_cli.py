@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig 3" in out and "ablation" in out
+
+
+def test_profiles_command(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "Pica8 Pronto 3780" in out
+    assert "Open vSwitch" in out
+
+
+def test_fig9_quick(capsys):
+    assert main(["fig", "9", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 9" in out
+    assert "attempted/s" in out
+
+
+def test_fig4_quick(capsys):
+    assert main(["fig", "4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Packet-In/s" in out
+
+
+def test_unknown_figure_errors(capsys):
+    assert main(["fig", "99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown figure" in err
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--attack-rate", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "vanilla" in out and "scotch" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_every_figure_number_is_wired():
+    """Each advertised figure number must be handled by figure_text (no
+    drift between the list and the dispatcher)."""
+    import inspect
+
+    from repro import cli
+
+    source = inspect.getsource(cli.figure_text)
+    for number in cli.FIGURES:
+        assert f'"{number}"' in source
+
+
+@pytest.mark.slow
+def test_all_figures_run_quick(capsys):
+    """Every figure subcommand completes in --quick mode."""
+    for number in ("3", "10", "11", "12", "13", "14", "15"):
+        assert main(["fig", number, "--quick"]) == 0, f"fig {number}"
+        out = capsys.readouterr().out
+        assert f"Fig. {number}" in out
+
+
+@pytest.mark.slow
+def test_ablation_and_tcam_commands(capsys):
+    assert main(["ablation", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "scotch" in out and "proactive" in out
+    assert main(["tcam", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE_FULL" in out
+
+
+@pytest.mark.slow
+def test_report_command_writes_markdown(tmp_path):
+    out = tmp_path / "REPORT.md"
+    assert main(["report", "--quick", "-o", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# Scotch reproduction report")
+    for number in ("3", "9", "10", "13", "15"):
+        assert f"## Figure {number}" in text
+    assert "## Ablation — baselines" in text
+    assert "## Ablation — TCAM bottleneck" in text

@@ -1,0 +1,137 @@
+"""Unit-ish tests for the ScotchApp's Packet-In handling and routing
+decisions (deployment-scale behaviours live in test_core_integration)."""
+
+import zlib
+
+import pytest
+
+from repro.core.config import ScotchConfig
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.openflow.messages import PacketIn
+from repro.testbed.deployment import build_deployment
+from repro.traffic import SpoofedFlood
+
+
+def make_packet(sport=1000, dst="10.0.0.10"):
+    return Packet("10.50.0.1", dst, src_port=sport, dst_port=80)
+
+
+def test_direct_packet_in_recorded_with_port():
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    message = PacketIn(datapath_id="edge", packet=make_packet(dst=dep.servers[0].ip),
+                       in_port=7)
+    app.packet_in("edge", message)
+    info = app.flow_db.get(message.packet.flow_key)
+    assert info.first_hop_switch == "edge"
+    assert info.ingress_port == 7
+    assert info.entry_vswitch is None
+
+
+def test_overlay_packet_in_attributed_via_labels():
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    overlay = app.overlay
+    tunnel = overlay.switch_tunnels[("edge", overlay.assignment["edge"][0])]
+    label = overlay.port_label("edge", 2)
+    packet = make_packet(dst=dep.servers[0].ip)
+    message = PacketIn(
+        datapath_id=overlay.assignment["edge"][0],
+        packet=packet,
+        in_port=1,
+        metadata={"tunnel_id": tunnel.tunnel_id, "inner_label": label},
+    )
+    app.packet_in(overlay.assignment["edge"][0], message)
+    info = app.flow_db.get(packet.flow_key)
+    assert info.first_hop_switch == "edge"
+    assert info.ingress_port == 2
+    assert info.entry_vswitch == overlay.assignment["edge"][0]
+
+
+def test_duplicate_packet_ins_counted_not_requeued():
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    packet = make_packet(dst=dep.servers[0].ip)
+    for _ in range(3):
+        app.packet_in("edge", PacketIn(datapath_id="edge", packet=packet, in_port=1))
+    assert app.duplicate_packet_ins == 2
+    assert len(app.flow_db) == 1
+
+
+def test_host_vswitch_packet_in_handled_lazily():
+    """A Packet-In from an unmanaged (host) vSwitch — e.g. a reverse/ACK
+    flow originating behind it — gets the vSwitch a lazily-created
+    scheduler and normal flow handling."""
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    hv = dep.host_vswitches[0]
+    packet = make_packet(dst=dep.servers[0].ip)
+    app.packet_in(hv.name, PacketIn(datapath_id=hv.name, packet=packet, in_port=1))
+    assert app.unattributed_packet_ins == 1  # counted, then handled
+    assert hv.name in app.schedulers
+    assert len(app.flow_db) == 1
+    assert app.flow_db.get(packet.flow_key).first_hop_switch == hv.name
+
+
+def test_truly_unknown_dpid_ignored():
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    app.packet_in("ghost", PacketIn(datapath_id="ghost", packet=make_packet(), in_port=1))
+    assert app.unattributed_packet_ins == 1
+    assert len(app.flow_db) == 0
+
+
+def test_unroutable_destination_dropped():
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    packet = make_packet(dst="99.99.99.99")
+    app.packet_in("edge", PacketIn(datapath_id="edge", packet=packet, in_port=1))
+    dep.sim.run(until=1.0)
+    assert app.unroutable >= 1
+    assert app.flow_db.get(packet.flow_key).route == "dropped"
+
+
+def test_hash_entry_selection_matches_group_hash():
+    """The controller's predicted entry vSwitch must equal the one the
+    data-plane select group actually sends the flow to, for any flow."""
+    dep = build_deployment(seed=31)
+    app = dep.scotch
+    overlay = app.overlay
+    switch = dep.edge
+    from repro.switch.group_table import Bucket, GroupEntry
+
+    group = GroupEntry(1, "select", overlay.group_buckets("edge"),
+                       hash_seed=switch.hash_seed)
+    for sport in range(50):
+        key = FlowKey("10.50.0.1", dep.servers[0].ip, 6, 2000 + sport, 80)
+        predicted = app._hash_entry_vswitch("edge", key)
+        packet = Packet(key.src_ip, key.dst_ip, proto=key.proto,
+                        src_port=key.src_port, dst_port=key.dst_port)
+        actual = group.select_bucket(packet).label
+        assert predicted == actual
+
+
+def test_activation_is_resent_and_idempotent():
+    dep = build_deployment(seed=32)
+    app = dep.scotch
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=2000.0)
+    flood.start(at=0.5, stop_at=8.0)
+    dep.sim.run(until=8.0)
+    assert app.activations == 1
+    # Despite the resends, exactly one default rule per port and one group.
+    from repro.core.config import PRIORITY_SCOTCH_DEFAULT
+
+    defaults = [e for e in dep.edge.datapath.table(0).entries()
+                if e.priority == PRIORITY_SCOTCH_DEFAULT]
+    assert len(defaults) == len(dep.edge.ports)
+    assert len(dep.edge.datapath.groups) == 1
+
+
+def test_scotch_config_validation():
+    with pytest.raises(ValueError):
+        ScotchConfig(withdraw_fraction=0.9, activate_fraction=0.8)
+    with pytest.raises(ValueError):
+        ScotchConfig(overlay_threshold=100, drop_threshold=50)
+    with pytest.raises(ValueError):
+        ScotchConfig(vswitches_per_switch=0)

@@ -1,0 +1,104 @@
+"""Tests for heartbeat-driven vSwitch failover (§5.6)."""
+
+import pytest
+
+from repro.core.config import ScotchConfig
+from repro.testbed.deployment import build_deployment
+from repro.traffic import SpoofedFlood
+
+
+def build(backups=1, seed=4, heartbeat_interval=0.5, miss_limit=3):
+    config = ScotchConfig(heartbeat_interval=heartbeat_interval,
+                          heartbeat_miss_limit=miss_limit)
+    dep = build_deployment(seed=seed, racks=2, mesh_per_rack=1, backups=backups,
+                           config=config)
+    return dep
+
+
+def test_healthy_vswitches_never_declared_dead():
+    dep = build()
+    dep.sim.run(until=10.0)
+    assert dep.scotch.heartbeat.failures_detected == 0
+    assert dep.scotch.overlay.dead == set()
+
+
+def test_detection_latency_bounded_by_miss_limit():
+    dep = build(heartbeat_interval=0.5, miss_limit=3)
+    victim = dep.mesh_vswitches[0]
+    dep.sim.schedule(2.0, victim.fail)
+    detected = []
+    original = dep.scotch.heartbeat._declare_dead
+
+    def spy(dpid):
+        detected.append(dep.sim.now)
+        original(dpid)
+
+    dep.scotch.heartbeat._declare_dead = spy
+    dep.sim.run(until=10.0)
+    assert len(detected) == 1
+    # Detection needs miss_limit consecutive missed echoes: within
+    # (miss_limit .. miss_limit + 2) heartbeat intervals after failure.
+    assert 2.0 + 3 * 0.5 - 0.5 <= detected[0] <= 2.0 + 5 * 0.5 + 0.5
+
+
+def test_group_refreshed_only_after_activation():
+    # Without any congestion the group does not exist; failover must not
+    # send a GroupMod at a switch whose group was never installed.
+    dep = build()
+    victim = dep.mesh_vswitches[0]
+    dep.sim.schedule(1.0, victim.fail)
+    dep.sim.run(until=10.0)
+    assert dep.scotch.heartbeat.failures_detected == 1
+    assert dep.edge.datapath.groups.get(1) is None  # still no group
+
+
+def test_bucket_swap_under_active_overlay():
+    dep = build()
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=2000.0)
+    flood.start(at=0.5, stop_at=20.0)
+    victim = dep.mesh_vswitches[0]
+    dep.sim.schedule(5.0, victim.fail)
+    dep.sim.run(until=15.0)
+    group = dep.edge.datapath.groups.get(1)
+    labels = [b.label for b in group.buckets]
+    assert victim.name not in labels
+    assert "bv0" in labels  # the backup took its slot
+
+
+def test_flows_resume_via_backup_as_new_flows():
+    dep = build()
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=2000.0)
+    flood.start(at=0.5, stop_at=20.0)
+    victim = dep.mesh_vswitches[0]
+    backup = next(v for v in dep.mesh_vswitches if v.name == "bv0")
+    dep.sim.schedule(5.0, victim.fail)
+    dep.sim.run(until=15.0)
+    # The backup vSwitch now raises Packet-Ins for the re-hashed flows.
+    assert backup.ofa.packet_ins_sent > 100
+
+
+def test_recovery_restores_original_assignment():
+    dep = build()
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=2000.0)
+    flood.start(at=0.5, stop_at=28.0)
+    victim = dep.mesh_vswitches[0]
+    dep.sim.schedule(5.0, victim.fail)
+    dep.sim.schedule(12.0, victim.recover)
+    dep.sim.run(until=25.0)
+    hb = dep.scotch.heartbeat
+    assert hb.failures_detected == 1
+    assert hb.recoveries_detected == 1
+    group = dep.edge.datapath.groups.get(1)
+    assert victim.name in [b.label for b in group.buckets]
+
+
+def test_no_backup_degrades_to_remaining_vswitches():
+    dep = build(backups=0)
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=1500.0)
+    flood.start(at=0.5, stop_at=20.0)
+    victim = dep.mesh_vswitches[0]
+    dep.sim.schedule(5.0, victim.fail)
+    dep.sim.run(until=15.0)
+    group = dep.edge.datapath.groups.get(1)
+    labels = [b.label for b in group.buckets]
+    assert labels == ["mv1_0"]  # one live vSwitch carries everything

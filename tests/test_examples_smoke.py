@@ -1,0 +1,42 @@
+"""Smoke checks over the example scripts.
+
+Full runs take minutes each (they are demos, not tests); here we verify
+each example parses, exposes a main(), and documents itself.  The
+behaviours the examples demonstrate are separately covered by the
+integration tests.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 6  # quickstart + at least five scenario demos
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in functions
+    # Runnable as a script.
+    assert "__main__" in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_only_public_api(path):
+    """Examples must not reach into private modules (no `_foo` imports)."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            assert not any(part.startswith("_") for part in node.module.split(".")), (
+                f"{path.name} imports private module {node.module}"
+            )

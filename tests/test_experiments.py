@@ -1,0 +1,150 @@
+"""Shape tests for the figure runners — short-duration versions of each
+reproduced experiment, asserting the qualitative results the paper
+reports (who wins, where breaks fall), not absolute numbers."""
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.switch.profiles import HP_PROCURVE_6600, OPEN_VSWITCH, PICA8_PRONTO_3780
+from repro.testbed import experiments as ex
+
+
+class TestFig3:
+    def test_low_attack_rate_harmless(self):
+        assert ex.fig3_point(PICA8_PRONTO_3780, 100, duration=4.0) < 0.05
+
+    def test_failure_grows_with_attack_rate(self):
+        low = ex.fig3_point(PICA8_PRONTO_3780, 500, duration=4.0)
+        high = ex.fig3_point(PICA8_PRONTO_3780, 3800, duration=4.0)
+        assert high > low > 0.3
+
+    def test_switch_ordering_matches_paper(self):
+        """Fig. 3: Pica8 worst, HP better, OVS near zero."""
+        rate = 2000
+        pica = ex.fig3_point(PICA8_PRONTO_3780, rate, duration=4.0)
+        hp = ex.fig3_point(HP_PROCURVE_6600, rate, duration=4.0)
+        ovs = ex.fig3_point(OPEN_VSWITCH, rate, duration=4.0)
+        assert pica > hp > ovs
+        assert ovs < 0.02
+
+    def test_series_shape(self):
+        series = ex.fig3_series(attack_rates=(100, 2000), duration=3.0)
+        assert set(series) == {p.name for p in ex.FIG3_PROFILES}
+        for curve in series.values():
+            assert curve[0][1] <= curve[-1][1]
+
+
+class TestFig4:
+    def test_three_rates_identical_below_capacity(self):
+        point = ex.fig4_point(150, duration=4.0)
+        assert point.packet_in_rate == pytest.approx(150, rel=0.05)
+        assert point.rule_insertion_rate == pytest.approx(150, rel=0.05)
+        assert point.successful_flow_rate == pytest.approx(150, rel=0.05)
+
+    def test_packet_in_caps_all_three_rates(self):
+        """§3.3: the OFA's Packet-In generation is the bottleneck — all
+        three observed rates clamp together at its capacity."""
+        point = ex.fig4_point(800, duration=4.0)
+        cap = PICA8_PRONTO_3780.packet_in_rate
+        assert point.packet_in_rate == pytest.approx(cap, rel=0.08)
+        assert point.rule_insertion_rate == pytest.approx(point.packet_in_rate, rel=0.05)
+        assert point.successful_flow_rate == pytest.approx(point.packet_in_rate, rel=0.08)
+
+
+class TestFig9:
+    def test_lossless_region(self):
+        assert ex.fig9_point(150, duration=3.0) == pytest.approx(150, rel=0.05)
+        assert ex.fig9_point(200, duration=3.0) == pytest.approx(200, rel=0.05)
+
+    def test_lossy_beyond_200(self):
+        successful = ex.fig9_point(600, duration=3.0)
+        assert successful < 600 * 0.95
+
+    def test_plateau_near_1000(self):
+        successful = ex.fig9_point(4000, duration=4.0)
+        assert 850 < successful < 1050
+
+    def test_monotone_nondecreasing(self):
+        values = [ex.fig9_point(r, duration=3.0) for r in (200, 800, 2500)]
+        assert values == sorted(values)
+
+
+class TestFig10:
+    def test_no_loss_below_knee(self):
+        assert ex.fig10_point(1000, 1000, duration=2.0) < 0.02
+
+    def test_cliff_beyond_knee(self):
+        assert ex.fig10_point(1500, 1000, duration=2.0) > 0.9
+
+    def test_loss_rises_with_data_rate(self):
+        low = ex.fig10_point(1500, 500, duration=2.0)
+        high = ex.fig10_point(1500, 2000, duration=2.0)
+        assert high > low > 0.85
+
+
+class TestFig11:
+    def test_scotch_protects_both_ports(self):
+        result = ex.fig11_run("scotch", duration=6.0)
+        assert result.clean_port_failure < 0.05
+        assert result.attacked_port_failure < 0.2
+
+    def test_vanilla_fails_both_ports(self):
+        result = ex.fig11_run("vanilla", duration=6.0)
+        assert result.clean_port_failure > 0.5
+        assert result.attacked_port_failure > 0.5
+
+
+class TestFig12:
+    def test_elephant_migrates_losslessly(self):
+        result = ex.fig12_run(elephant_packets=2000, elephant_pps=400.0)
+        assert result.migrated
+        assert result.migration_time < 5.0
+        assert result.delivered_packets == result.total_packets
+        assert result.overlay_rules_cleaned
+
+
+class TestFig13:
+    def test_capacity_grows_with_mesh_size(self):
+        small = ex.fig13_point(1, offered_rate=9000.0, duration=3.0)
+        large = ex.fig13_point(2, offered_rate=9000.0, duration=3.0)
+        assert large > small * 1.5
+
+
+class TestFig14:
+    def test_overlay_adds_bounded_stretch(self):
+        result = ex.fig14_run(flows=60)
+        summary = result.summary()
+        assert summary["overlay_mean"] > summary["direct_mean"]
+        # Three tunnels instead of one path: small-constant stretch, not
+        # an order of magnitude.
+        assert summary["stretch_mean"] < 20
+
+
+class TestFig15:
+    def test_scotch_beats_vanilla_on_trace(self):
+        scotch = ex.fig15_run("scotch", duration=10.0)
+        vanilla = ex.fig15_run("vanilla", duration=10.0)
+        assert scotch.failure_fraction < 0.1
+        assert vanilla.failure_fraction > scotch.failure_fraction + 0.2
+
+
+class TestAblation:
+    def test_scotch_wins_the_ablation(self):
+        scotch = ex.ablation_run("scotch", duration=5.0)
+        vanilla = ex.ablation_run("vanilla", duration=5.0)
+        drop = ex.ablation_run("drop", duration=5.0)
+        dedicated = ex.ablation_run("dedicated", duration=5.0)
+        assert scotch.client_failure < 0.05
+        assert vanilla.client_failure > 0.5
+        # Scotch's total goodput (legit + flood carried) dominates.
+        assert scotch.total_success_rate > dedicated.total_success_rate
+        assert scotch.total_success_rate > drop.total_success_rate
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ex.ablation_run("nope", duration=1.0)
+        with pytest.raises(ValueError):
+            ex.fig11_run("nope", duration=1.0)
+        with pytest.raises(ValueError):
+            ex.fig15_run("nope", duration=1.0)

@@ -1,0 +1,179 @@
+"""Tests for measurement: recorders, failure fraction, meters, stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.failure import client_flow_failure_fraction, flow_success_stats
+from repro.metrics.meters import Ewma, RateEstimator, WindowRateMeter
+from repro.metrics.recorder import PacketRecorder
+from repro.metrics.series import TimeSeries, sample_periodically
+from repro.metrics.stats import cdf_points, mean, percentile, stddev
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def packet(sport=1):
+    return Packet("1.1.1.1", "2.2.2.2", src_port=sport, dst_port=80)
+
+
+class TestRecorder:
+    def test_send_receive_accounting(self):
+        tap = PacketRecorder()
+        tap.on_send(packet(1), 1.0)
+        tap.on_receive(packet(1), 2.0)
+        record = tap.flow(FlowKey("1.1.1.1", "2.2.2.2", 6, 1, 80))
+        assert record.first_sent_at == 1.0
+        assert record.first_received_at == 2.0
+        assert record.setup_latency == 1.0
+
+    def test_received_in_window(self):
+        tap = PacketRecorder()
+        tap.on_receive(packet(1), 1.0)
+        tap.on_receive(packet(2), 5.0)
+        assert len(tap.received_in(0.0, 2.0)) == 1
+        assert len(tap.received_in(0.0, 10.0)) == 2
+
+    def test_count_aware(self):
+        tap = PacketRecorder()
+        p = packet(1)
+        p.count = 7
+        tap.on_receive(p, 1.0)
+        assert tap.total_packets == 7
+
+
+class TestFailureFraction:
+    def test_basic_fraction(self):
+        client, server = PacketRecorder(), PacketRecorder()
+        for sport in range(10):
+            client.on_send(packet(sport), float(sport))
+        for sport in range(6):
+            server.on_receive(packet(sport), float(sport) + 0.1)
+        assert client_flow_failure_fraction(client, server) == pytest.approx(0.4)
+
+    def test_window_restriction(self):
+        client, server = PacketRecorder(), PacketRecorder()
+        client.on_send(packet(1), 1.0)   # delivered
+        client.on_send(packet(2), 10.0)  # lost, but outside the window
+        server.on_receive(packet(1), 1.1)
+        assert client_flow_failure_fraction(client, server, start=0.0, end=5.0) == 0.0
+        assert client_flow_failure_fraction(client, server) == pytest.approx(0.5)
+
+    def test_empty_client_returns_zero(self):
+        assert client_flow_failure_fraction(PacketRecorder(), PacketRecorder()) == 0.0
+
+    def test_flow_success_stats(self):
+        client, server = PacketRecorder(), PacketRecorder()
+        client.on_send(packet(1), 1.0)
+        client.on_send(packet(2), 1.0)
+        server.on_receive(packet(1), 1.1)
+        stats = flow_success_stats(client, server)
+        assert stats.flows_seen == 2
+        assert stats.flows_succeeded == 1
+        assert stats.success_fraction == 0.5
+
+
+class TestMeters:
+    def test_rate_estimator_steady_rate(self):
+        est = RateEstimator(window_events=16)
+        for i in range(100):
+            est.observe(i * 0.01)
+        assert est.rate(1.0) == pytest.approx(100.0, rel=0.05)
+
+    def test_rate_estimator_needs_two_events(self):
+        est = RateEstimator()
+        assert est.rate() == 0.0
+        est.observe(1.0)
+        assert est.rate() == 0.0
+
+    def test_rate_estimator_window_ages_out(self):
+        est = RateEstimator(window_events=16, window_seconds=1.0)
+        for i in range(16):
+            est.observe(i * 0.01)
+        assert est.rate(now=0.2) > 50
+        assert est.rate(now=10.0) == 0.0
+
+    def test_rate_estimator_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(window_events=1)
+
+    def test_ewma(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.get(7.0) == 7.0
+        ewma.update(10.0)
+        ewma.update(0.0)
+        assert ewma.get() == pytest.approx(5.0)
+
+    def test_ewma_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+
+    def test_window_rate_meter(self):
+        meter = WindowRateMeter(bin_seconds=1.0)
+        for i in range(10):
+            meter.observe(0.5)
+        for i in range(20):
+            meter.observe(1.5)
+        series = dict(meter.series())
+        assert series[0.0] == 10.0
+        assert series[1.0] == 20.0
+        assert meter.rate_in(0.0, 2.0) == pytest.approx(15.0)
+
+
+class TestSeries:
+    def test_reductions(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)
+        series.add(1.0, 3.0)
+        series.add(2.0, 5.0)
+        assert series.last() == 5.0
+        assert series.max() == 5.0
+        assert series.mean_over(0.0, 2.0) == 2.0
+        assert len(series) == 3
+
+    def test_periodic_sampling(self):
+        sim = Simulator()
+        series = TimeSeries()
+        values = iter(range(100))
+        sample_periodically(sim, series, lambda: float(next(values)), interval=1.0, until=4.5)
+        sim.run(until=10.0)
+        assert series.times() == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestStats:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert stddev([2, 2, 2]) == 0.0
+        assert stddev([1]) == 0.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_percentile_interpolation(self):
+        data = [0, 10]
+        assert percentile(data, 50) == 5.0
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 10
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points(list(range(100)), points=10)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert points[-1][1] == 1.0
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    def test_percentile_bounds_property(self, values):
+        p0 = percentile(values, 0)
+        p100 = percentile(values, 100)
+        p50 = percentile(values, 50)
+        assert p0 == min(values)
+        assert p100 == max(values)
+        assert p0 <= p50 <= p100

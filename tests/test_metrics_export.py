@@ -1,0 +1,57 @@
+"""Tests for CSV export of measurement taps."""
+
+import pytest
+
+from repro.metrics.export import read_flow_records, write_flow_records
+from repro.metrics.recorder import PacketRecorder
+from repro.net.packet import Packet
+
+
+def populate():
+    tap = PacketRecorder()
+    delivered = Packet("1.1.1.1", "2.2.2.2", src_port=1, dst_port=80, size=500)
+    tap.on_send(delivered, 1.0)
+    tap.on_receive(delivered, 1.5)
+    tap.on_receive(delivered, 2.0)
+    lost = Packet("3.3.3.3", "2.2.2.2", src_port=2, dst_port=80)
+    tap.on_send(lost, 1.1)
+    return tap
+
+
+def test_roundtrip(tmp_path):
+    tap = populate()
+    path = str(tmp_path / "flows.csv")
+    assert write_flow_records(path, tap) == 2
+    records = read_flow_records(path)
+    assert len(records) == 2
+    by_src = {r["src_ip"]: r for r in records}
+    ok = by_src["1.1.1.1"]
+    assert ok["succeeded"] is True
+    assert ok["packets_received"] == 2
+    assert ok["bytes_received"] == 1000
+    assert ok["setup_latency"] == pytest.approx(0.5)
+    assert ok["completion_time"] == pytest.approx(1.0)
+    lost = by_src["3.3.3.3"]
+    assert lost["succeeded"] is False
+    assert lost["first_received_at"] is None
+
+
+def test_empty_tap(tmp_path):
+    path = str(tmp_path / "empty.csv")
+    assert write_flow_records(path, PacketRecorder()) == 0
+    assert read_flow_records(path) == []
+
+
+def test_export_from_simulation(tmp_path):
+    from repro.testbed.single_switch import SERVER_IP, build_single_switch
+    from repro.traffic import NewFlowSource
+
+    bed = build_single_switch(seed=3)
+    source = NewFlowSource(bed.sim, bed.client, SERVER_IP, rate_fps=50.0)
+    source.start(at=0.5, stop_at=2.5)
+    bed.sim.run(until=4.0)
+    path = str(tmp_path / "server.csv")
+    rows = write_flow_records(path, bed.server.recv_tap)
+    assert rows == source.flows_started
+    records = read_flow_records(path)
+    assert all(r["succeeded"] for r in records)

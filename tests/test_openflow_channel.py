@@ -1,0 +1,81 @@
+"""Tests for the control channel and message types."""
+
+import pytest
+
+from repro.openflow.channel import ControlChannel
+from repro.openflow.messages import EchoRequest, FlowMod, PacketIn, next_xid
+from repro.sim.engine import Simulator
+
+
+def test_latency_applied_both_directions():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw", latency=0.1)
+    to_controller, to_switch = [], []
+    channel.controller_sink = lambda dpid, m: to_controller.append((sim.now, dpid, m))
+    channel.switch_sink = lambda m: to_switch.append((sim.now, m))
+
+    channel.send_to_controller(PacketIn(datapath_id="sw"))
+    channel.send_to_switch(FlowMod())
+    sim.run()
+    assert to_controller[0][0] == pytest.approx(0.1)
+    assert to_controller[0][1] == "sw"
+    assert to_switch[0][0] == pytest.approx(0.1)
+
+
+def test_fifo_per_direction():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw", latency=0.01)
+    seen = []
+    channel.switch_sink = seen.append
+    first, second = FlowMod(), FlowMod()
+    channel.send_to_switch(first)
+    channel.send_to_switch(second)
+    sim.run()
+    assert seen == [first, second]
+
+
+def test_disconnect_blackholes_messages():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw", latency=0.01)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.disconnect()
+    channel.send_to_switch(FlowMod())
+    sim.run()
+    assert seen == []
+    channel.reconnect()
+    channel.send_to_switch(FlowMod())
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_unsinked_channel_is_safe():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw")
+    channel.send_to_controller(EchoRequest())
+    channel.send_to_switch(FlowMod())
+    sim.run()
+
+
+def test_counters():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw")
+    channel.controller_sink = lambda d, m: None
+    channel.switch_sink = lambda m: None
+    channel.send_to_controller(EchoRequest())
+    channel.send_to_switch(FlowMod())
+    channel.send_to_switch(FlowMod())
+    assert channel.to_controller_count == 1
+    assert channel.to_switch_count == 2
+
+
+def test_negative_latency_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ControlChannel(sim, "sw", latency=-1)
+
+
+def test_xids_unique_and_increasing():
+    a, b = EchoRequest(), EchoRequest()
+    assert b.xid > a.xid
+    assert next_xid() > b.xid

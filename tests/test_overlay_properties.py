@@ -1,0 +1,87 @@
+"""Property tests over overlay route construction."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import ScotchConfig
+from repro.core.overlay import ScotchOverlay
+from repro.net.flow import FlowKey
+from repro.net.host import Host
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.switch.actions import Output
+from repro.switch.switch import PhysicalSwitch, VSwitch
+
+
+def build_overlay(racks):
+    sim = Simulator()
+    net = Network(sim)
+    net.add(PhysicalSwitch(sim, "spine"))
+    overlay = ScotchOverlay(net, ScotchConfig())
+    for rack in range(racks):
+        net.add(PhysicalSwitch(sim, f"tor{rack}"))
+        net.link(f"tor{rack}", "spine")
+        net.add(VSwitch(sim, f"mv{rack}"))
+        net.link(f"mv{rack}", f"tor{rack}")
+        overlay.add_mesh_vswitch(f"mv{rack}")
+        net.add(Host(sim, f"server{rack}", f"10.0.{rack}.10"))
+        net.link(f"server{rack}", f"tor{rack}")
+        overlay.set_host_delivery(f"server{rack}", None, f"mv{rack}")
+    return net, overlay
+
+
+@given(
+    racks=st.integers(min_value=1, max_value=5),
+    entry=st.integers(min_value=0, max_value=4),
+    dst=st.integers(min_value=0, max_value=4),
+    sport=st.integers(min_value=1, max_value=60000),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_overlay_route_structure(racks, entry, dst, sport):
+    """For any mesh size and (entry, destination) pair:
+
+    * every rule targets a vSwitch (never a physical switch),
+    * rules come last-hop-first, ending with the entry vSwitch,
+    * the entry rule's first action enters a tunnel that exists and
+      whose source is the entry vSwitch,
+    * at most two rules are needed (entry + exit).
+    """
+    entry %= racks
+    dst %= racks
+    net, overlay = build_overlay(racks)
+    key = FlowKey("10.20.0.1", f"10.0.{dst}.10", 6, sport, 80)
+    rules = overlay.overlay_route(key, f"mv{entry}", f"server{dst}")
+
+    assert 1 <= len(rules) <= 2
+    for rule in rules:
+        assert rule.dpid.startswith("mv")
+        assert isinstance(rule.actions[-1], Output)
+    assert rules[-1].dpid == f"mv{entry}"
+    # The entry rule's tunnel must originate at the entry vSwitch.
+    entry_label = rules[-1].actions[0].label if hasattr(rules[-1].actions[0], "label") else None
+    if entry_label is not None:
+        tunnel = overlay.fabric.get(entry_label)
+        assert tunnel is not None
+        assert tunnel.src == f"mv{entry}"
+    if entry == dst:
+        assert len(rules) == 1
+    else:
+        assert rules[0].dpid == f"mv{dst}"
+
+
+@given(
+    racks=st.integers(min_value=2, max_value=5),
+    dead_mask=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_live_assignment_never_contains_dead(racks, dead_mask):
+    net, overlay = build_overlay(racks)
+    net.add(PhysicalSwitch(net.sim, "edge"))
+    net.link("edge", "spine")
+    overlay.register_switch("edge")
+    for rack in range(racks):
+        if dead_mask & (1 << rack):
+            overlay.mark_dead(f"mv{rack}")
+    live = overlay.live_assignment("edge")
+    assert all(name not in overlay.dead for name in live)
+    # With no backups, the assignment shrinks but never invents members.
+    assert set(live) <= set(overlay.mesh)

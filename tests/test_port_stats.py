@@ -1,0 +1,80 @@
+"""Tests for per-port statistics (PortStatsRequest/Reply)."""
+
+import pytest
+
+from repro.controller.base_app import BaseApp
+from repro.controller.controller import OpenFlowController
+from repro.net.flow import FlowKey, FlowSpec
+from repro.net.host import Host
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.switch.actions import Output
+from repro.switch.match import Match
+from repro.switch.profiles import IDEAL_SWITCH
+from repro.switch.switch import PhysicalSwitch
+
+
+class Collector(BaseApp):
+    def __init__(self):
+        super().__init__()
+        self.replies = []
+
+    def port_stats_reply(self, dpid, message):
+        self.replies.append((dpid, message))
+
+
+def build():
+    sim = Simulator()
+    net = Network(sim)
+    sw = net.add(PhysicalSwitch(sim, "s0", IDEAL_SWITCH))
+    a = net.add(Host(sim, "a", "10.0.0.1"))
+    b = net.add(Host(sim, "b", "10.0.0.2"))
+    net.link("a", "s0")
+    net.link("b", "s0")
+    controller = OpenFlowController(sim, net)
+    controller.register_switch(sw)
+    app = controller.add_app(Collector())
+    return sim, net, sw, controller, app, a, b
+
+
+def test_port_stats_reflect_forwarded_traffic():
+    sim, net, sw, controller, app, a, b = build()
+    out_port = net.port_between("s0", "b")
+    key = FlowKey("10.0.0.1", "10.0.0.2", 6, 1, 80)
+    sw.install_static(Match.for_flow(key), 100, [Output(out_port)])
+    a.start_flow(FlowSpec(key=key, start_time=0.1, size_packets=7,
+                          packet_size=500, rate_pps=100.0))
+    sim.run(until=1.0)
+    controller.request_port_stats("s0")
+    sim.run(until=1.5)
+    assert len(app.replies) == 1
+    dpid, reply = app.replies[0]
+    assert dpid == "s0"
+    by_port = {e.port_no: e for e in reply.entries}
+    assert by_port[out_port].tx_packets == 7
+    assert by_port[out_port].tx_bytes == 7 * 500
+
+
+def test_port_filter():
+    sim, net, sw, controller, app, a, b = build()
+    target = net.port_between("s0", "a")
+    controller.request_port_stats("s0", port_no=target)
+    sim.run(until=1.0)
+    entries = app.replies[0][1].entries
+    assert len(entries) == 1
+    assert entries[0].port_no == target
+
+
+def test_reply_correlates_with_request():
+    sim, net, sw, controller, app, a, b = build()
+    request = controller.request_port_stats("s0")
+    sim.run(until=1.0)
+    assert app.replies[0][1].request_xid == request.xid
+
+
+def test_dead_switch_does_not_reply():
+    sim, net, sw, controller, app, a, b = build()
+    sw.fail()
+    controller.request_port_stats("s0")
+    sim.run(until=1.0)
+    assert app.replies == []

@@ -1,0 +1,92 @@
+"""Tests for daemon (housekeeping) events."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_daemon_events_do_not_keep_run_alive():
+    sim = Simulator()
+    ticks = []
+
+    def housekeeping():
+        ticks.append(sim.now)
+        sim.schedule(1.0, housekeeping, daemon=True)
+
+    sim.schedule(1.0, housekeeping, daemon=True)
+    sim.schedule(2.5, lambda: None)  # the only foreground work
+    final = sim.run()
+    # Runs until the foreground event fires, then stops — despite the
+    # self-rescheduling daemon.
+    assert final == pytest.approx(2.5)
+    assert ticks == [1.0, 2.0]
+
+
+def test_daemon_events_fire_while_foreground_exists():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.5, fired.append, "daemon", daemon=True)
+    sim.schedule(1.0, fired.append, "fg")
+    sim.run()
+    assert fired == ["daemon", "fg"]
+
+
+def test_run_until_still_drives_daemons():
+    sim = Simulator()
+    ticks = []
+
+    def housekeeping():
+        ticks.append(sim.now)
+        sim.schedule(1.0, housekeeping, daemon=True)
+
+    sim.schedule(1.0, housekeeping, daemon=True)
+    sim.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_pure_daemon_simulation_ends_immediately():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None, daemon=True)
+    assert sim.run() == 0.0
+
+
+def test_cancelled_foreground_eventually_releases_run():
+    sim = Simulator()
+
+    def housekeeping():
+        sim.schedule(1.0, housekeeping, daemon=True)
+
+    sim.schedule(1.0, housekeeping, daemon=True)
+    event = sim.schedule(3.0, lambda: None)
+    event.cancel()
+    final = sim.run()
+    # The cancelled event is discarded when its time comes; daemons then
+    # stop holding the loop (they never did) and run() returns.
+    assert final <= 3.0
+
+
+def test_switch_simulation_terminates_without_horizon():
+    """Regression for the hang this feature fixes: a bare sim.run() on a
+    topology with a switch (whose expiry sweep self-reschedules) must
+    terminate once traffic is done."""
+    from repro.net.flow import FlowKey, FlowSpec
+    from repro.net.host import Host
+    from repro.net.topology import Network
+    from repro.switch.actions import Output
+    from repro.switch.match import Match
+    from repro.switch.profiles import IDEAL_SWITCH
+    from repro.switch.switch import PhysicalSwitch
+
+    sim = Simulator()
+    net = Network(sim)
+    sw = net.add(PhysicalSwitch(sim, "sw", IDEAL_SWITCH))
+    a = net.add(Host(sim, "a", "10.0.0.1"))
+    b = net.add(Host(sim, "b", "10.0.0.2"))
+    net.link("a", "sw")
+    net.link("b", "sw")
+    key = FlowKey("10.0.0.1", "10.0.0.2", 6, 1, 2)
+    sw.install_static(Match.for_flow(key), 100, [Output(net.port_between("sw", "b"))])
+    a.start_flow(FlowSpec(key=key, start_time=0.1, size_packets=5, rate_pps=100.0))
+    final = sim.run()  # must return, not spin on sweeps
+    assert final < 10.0
+    assert b.recv_tap.flow(key).packets_received == 5

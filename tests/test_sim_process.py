@@ -1,0 +1,83 @@
+"""Tests for generator-based processes."""
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+def test_process_resumes_after_yielded_delay():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield 1.0
+        times.append(sim.now)
+        yield 2.5
+        times.append(sim.now)
+
+    Process(sim, proc())
+    sim.run()
+    assert times == [0.0, 1.0, 3.5]
+
+
+def test_process_start_delay():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        times.append(sim.now)
+        yield 1.0
+        times.append(sim.now)
+
+    Process(sim, proc(), start_delay=2.0)
+    sim.run()
+    assert times == [2.0, 3.0]
+
+
+def test_process_terminates_when_generator_returns():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+
+    process = Process(sim, proc())
+    sim.run()
+    assert process.alive is False
+
+
+def test_stop_prevents_further_resumes():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    process = Process(sim, proc())
+    sim.schedule(2.5, process.stop)
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+    assert process.alive is False
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def proc(name, gap):
+        for _ in range(3):
+            log.append((round(sim.now, 6), name))
+            yield gap
+
+    Process(sim, proc("a", 1.0))
+    Process(sim, proc("b", 1.5))
+    sim.run()
+    assert log == [
+        (0.0, "a"),
+        (0.0, "b"),
+        (1.0, "a"),
+        (1.5, "b"),
+        (2.0, "a"),
+        (3.0, "b"),
+    ]

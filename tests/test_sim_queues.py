@@ -1,0 +1,150 @@
+"""Tests for bounded queues and the round-robin scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.queues import BoundedQueue, QueueFullError, RoundRobinScheduler
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue()
+        for i in range(5):
+            q.push(i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_tail_takes_newest(self):
+        q = BoundedQueue()
+        for i in range(5):
+            q.push(i)
+        assert q.pop_tail() == 4
+        assert q.pop() == 0
+
+    def test_capacity_enforced(self):
+        q = BoundedQueue(capacity=2)
+        q.push(1)
+        q.push(2)
+        with pytest.raises(QueueFullError):
+            q.push(3)
+        assert q.dropped == 1
+
+    def test_offer_returns_false_when_full(self):
+        q = BoundedQueue(capacity=1)
+        assert q.offer("a") is True
+        assert q.offer("b") is False
+        assert q.dropped == 1
+        assert q.enqueued == 1
+
+    def test_unbounded_by_default(self):
+        q = BoundedQueue()
+        for i in range(10_000):
+            q.push(i)
+        assert len(q) == 10_000
+        assert not q.full
+
+    def test_zero_capacity_drops_everything(self):
+        q = BoundedQueue(capacity=0)
+        assert q.offer("x") is False
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=-1)
+
+    def test_peek_and_clear(self):
+        q = BoundedQueue()
+        q.push("a")
+        q.push("b")
+        assert q.peek() == "a"
+        q.clear()
+        assert len(q) == 0
+
+    def test_bool(self):
+        q = BoundedQueue()
+        assert not q
+        q.push(1)
+        assert q
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(min_value=1, max_value=10))
+    def test_never_exceeds_capacity(self, items, capacity):
+        q = BoundedQueue(capacity=capacity)
+        for item in items:
+            q.offer(item)
+        assert len(q) <= capacity
+        assert q.enqueued + q.dropped == len(items)
+
+
+class TestRoundRobinScheduler:
+    def _make(self, n):
+        rr = RoundRobinScheduler()
+        queues = {}
+        for key in range(n):
+            queues[key] = BoundedQueue()
+            rr.add_queue(key, queues[key])
+        return rr, queues
+
+    def test_duplicate_key_rejected(self):
+        rr, _ = self._make(1)
+        with pytest.raises(ValueError):
+            rr.add_queue(0, BoundedQueue())
+
+    def test_select_none_when_all_empty(self):
+        rr, _ = self._make(3)
+        assert rr.select() is None
+        assert rr.pop_next() is None
+
+    def test_round_robin_rotation(self):
+        rr, queues = self._make(3)
+        for key in range(3):
+            for i in range(2):
+                queues[key].push(f"{key}.{i}")
+        served = [rr.pop_next()[0] for _ in range(6)]
+        assert served == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_empty_queues(self):
+        rr, queues = self._make(3)
+        queues[1].push("only")
+        key, item = rr.pop_next()
+        assert (key, item) == (1, "only")
+
+    def test_fair_share_under_asymmetric_load(self):
+        # One flooded queue must not starve the others.
+        rr, queues = self._make(2)
+        for i in range(100):
+            queues[0].push(i)
+        queues[1].push("legit-1")
+        queues[1].push("legit-2")
+        served = [rr.pop_next()[0] for _ in range(4)]
+        assert served.count(1) == 2
+
+    def test_total_backlog(self):
+        rr, queues = self._make(2)
+        queues[0].push(1)
+        queues[1].push(2)
+        queues[1].push(3)
+        assert rr.total_backlog() == 3
+
+    def test_rotation_resumes_after_last_served(self):
+        rr, queues = self._make(3)
+        queues[0].push("a")
+        assert rr.pop_next()[0] == 0
+        queues[0].push("b")
+        queues[2].push("c")
+        # After serving 0, the rotation prefers 1, then 2, then 0.
+        assert rr.pop_next()[0] == 2
+        assert rr.pop_next()[0] == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), max_size=60))
+    def test_conservation(self, arrivals):
+        """Everything pushed is eventually served exactly once."""
+        rr, queues = self._make(5)
+        pushed = []
+        for index, key in enumerate(arrivals):
+            queues[key].push((key, index))
+            pushed.append((key, index))
+        served = []
+        while True:
+            popped = rr.pop_next()
+            if popped is None:
+                break
+            served.append(popped[1])
+        assert sorted(served) == sorted(pushed)

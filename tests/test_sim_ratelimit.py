@@ -1,0 +1,164 @@
+"""Tests for rate-limited servers and token buckets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.ratelimit import RateLimitedServer, TokenBucket
+
+
+class TestRateLimitedServer:
+    def test_serves_at_configured_rate(self):
+        sim = Simulator()
+        done = []
+        server = RateLimitedServer(sim, rate=10.0, queue_capacity=None,
+                                   handler=lambda item: done.append(sim.now))
+        for i in range(5):
+            server.submit(i)
+        sim.run()
+        assert done == pytest.approx([0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_drops_when_queue_full(self):
+        sim = Simulator()
+        server = RateLimitedServer(sim, rate=1.0, queue_capacity=2, handler=lambda i: None)
+        results = [server.submit(i) for i in range(5)]
+        # First begins service immediately (dequeued), two more queue, rest drop.
+        assert results == [True, True, True, False, False]
+        assert server.dropped == 2
+
+    def test_drop_handler_invoked(self):
+        sim = Simulator()
+        dropped = []
+        server = RateLimitedServer(
+            sim, rate=1.0, queue_capacity=1, handler=lambda i: None,
+            drop_handler=dropped.append,
+        )
+        server.submit("a")
+        server.submit("b")
+        server.submit("c")
+        assert dropped == ["c"]
+
+    def test_served_counter(self):
+        sim = Simulator()
+        server = RateLimitedServer(sim, rate=100.0, queue_capacity=None, handler=lambda i: None)
+        for i in range(7):
+            server.submit(i)
+        sim.run()
+        assert server.served == 7
+
+    def test_resumes_after_idle(self):
+        sim = Simulator()
+        done = []
+        server = RateLimitedServer(sim, rate=10.0, queue_capacity=None,
+                                   handler=lambda item: done.append((item, sim.now)))
+        server.submit("a")
+        sim.schedule(1.0, server.submit, "b")
+        sim.run()
+        assert done[0] == ("a", pytest.approx(0.1))
+        assert done[1] == ("b", pytest.approx(1.1))
+
+    def test_set_rate_changes_future_service(self):
+        sim = Simulator()
+        done = []
+        server = RateLimitedServer(sim, rate=1.0, queue_capacity=None,
+                                   handler=lambda item: done.append(sim.now))
+        server.submit("a")
+        server.submit("b")
+        sim.schedule(0.5, server.set_rate, 100.0)
+        sim.run()
+        assert done[0] == pytest.approx(1.0)
+        assert done[1] == pytest.approx(1.01)
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RateLimitedServer(sim, rate=0.0, queue_capacity=None, handler=lambda i: None)
+
+    def test_fifo_service_order(self):
+        sim = Simulator()
+        done = []
+        server = RateLimitedServer(sim, rate=50.0, queue_capacity=None, handler=done.append)
+        for i in range(10):
+            server.submit(i)
+        sim.run()
+        assert done == list(range(10))
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_never_exceeds_rate(self, n):
+        sim = Simulator()
+        done = []
+        server = RateLimitedServer(sim, rate=100.0, queue_capacity=None,
+                                   handler=lambda item: done.append(sim.now))
+        for i in range(n):
+            server.submit(i)
+        sim.run()
+        assert len(done) == n
+        # n items at 100/s must take at least (n)/100 seconds.
+        assert done[-1] >= n / 100.0 - 1e-9
+
+
+class TestTokenBucket:
+    def test_burst_allowed_up_to_capacity(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=1.0, capacity=3.0)
+        assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_over_time(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=2.0, capacity=2.0)
+        bucket.allow()
+        bucket.allow()
+        assert bucket.allow() is False
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # 1 second at 2 tokens/s -> two more conformant packets.
+        assert bucket.allow() is True
+        assert bucket.allow() is True
+        assert bucket.allow() is False
+
+    def test_never_exceeds_capacity(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0, capacity=5.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_cost_parameter(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=1.0, capacity=10.0)
+        assert bucket.allow(cost=10.0) is True
+        assert bucket.allow(cost=0.5) is False
+
+    def test_counters(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=1.0, capacity=1.0)
+        bucket.allow()
+        bucket.allow()
+        assert bucket.allowed == 1
+        assert bucket.denied == 1
+
+    def test_invalid_params_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=0, capacity=1)
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=1, capacity=0)
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_long_run_conformance(self, gaps):
+        """Allowed traffic never exceeds capacity + rate * elapsed."""
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=10.0, capacity=5.0)
+        allowed = 0
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            sim.schedule_at(now, lambda: None)
+            sim.run(until=now)
+            if bucket.allow():
+                allowed += 1
+        assert allowed <= 5.0 + 10.0 * now + 1

@@ -1,0 +1,38 @@
+"""Tests for named random streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    reg = RngRegistry(1)
+    assert reg.stream("a") is reg.stream("a")
+
+
+def test_streams_deterministic_across_registries():
+    a = RngRegistry(7).stream("client").random()
+    b = RngRegistry(7).stream("client").random()
+    assert a == b
+
+
+def test_streams_differ_by_name():
+    reg = RngRegistry(7)
+    assert reg.stream("a").random() != reg.stream("b").random()
+
+
+def test_streams_differ_by_seed():
+    assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+
+def test_creation_order_does_not_perturb_streams():
+    reg1 = RngRegistry(3)
+    reg1.stream("first")
+    value1 = reg1.stream("second").random()
+
+    reg2 = RngRegistry(3)
+    value2 = reg2.stream("second").random()  # created without "first"
+    assert value1 == value2
+
+
+def test_callable_shorthand():
+    reg = RngRegistry(0)
+    assert reg("x") is reg.stream("x")

@@ -1,0 +1,199 @@
+"""Tests for the data-plane pipeline."""
+
+import pytest
+
+from repro.net.flow import FlowKey
+from repro.net.packet import MplsHeader, Packet
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.switch.actions import (
+    Controller,
+    Drop,
+    GotoTable,
+    Group,
+    Output,
+    PopMpls,
+    PushMpls,
+    SetGreKey,
+    PopGre,
+)
+from repro.switch.datapath import INGRESS_BUFFER, MISS_DROP
+from repro.switch.group_table import Bucket, GroupEntry
+from repro.switch.match import Match
+from repro.switch.profiles import IDEAL_SWITCH, PICA8_PRONTO_3780
+from repro.switch.switch import PhysicalSwitch
+from repro.net.host import Host
+
+KEY = FlowKey("1.1.1.1", "2.2.2.2", 6, 10, 80)
+
+
+def build(profile=IDEAL_SWITCH):
+    sim = Simulator()
+    net = Network(sim)
+    sw = net.add(PhysicalSwitch(sim, "sw", profile))
+    host = net.add(Host(sim, "h", "2.2.2.2"))
+    net.link("sw", "h")
+    return sim, net, sw, host
+
+
+def packet_for(key=KEY):
+    return Packet(key.src_ip, key.dst_ip, proto=key.proto,
+                  src_port=key.src_port, dst_port=key.dst_port)
+
+
+def test_miss_punts_to_controller_by_default():
+    sim, net, sw, host = build()
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.punted == 1
+
+
+def test_miss_drop_policy():
+    sim, net, sw, host = build()
+    sw.datapath.miss_policy = MISS_DROP
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.punted == 0
+    assert sw.datapath.dropped_policy == 1
+
+
+def test_output_action_forwards():
+    sim, net, sw, host = build()
+    out = net.port_between("sw", "h")
+    sw.install_static(Match.for_flow(KEY), 100, [Output(out)])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert host.recv_tap.total_packets == 1
+
+
+def test_goto_table_continues_pipeline():
+    sim, net, sw, host = build()
+    out = net.port_between("sw", "h")
+    sw.install_static(Match.any(), 1, [GotoTable(2)], table_id=0)
+    sw.install_static(Match.for_flow(KEY), 1, [Output(out)], table_id=2)
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert host.recv_tap.total_packets == 1
+
+
+def test_goto_loop_detected():
+    sim, net, sw, host = build()
+    sw.install_static(Match.any(), 1, [GotoTable(1)], table_id=0)
+    sw.install_static(Match.any(), 1, [GotoTable(0)], table_id=1)
+    sw.receive(packet_for(), in_port=1)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_push_pop_mpls_actions():
+    sim, net, sw, host = build()
+    out = net.port_between("sw", "h")
+    sw.install_static(Match.for_flow(KEY), 100, [PushMpls(42), Output(out)])
+    packet = packet_for()
+    sw.receive(packet, in_port=1)
+    sim.run()
+    # The host strips encapsulation, but records pops are visible via tap.
+    assert host.recv_tap.total_packets == 1
+
+
+def test_pop_mpls_records_label():
+    sim, net, sw, host = build()
+    sw.install_static(Match(mpls_label=42), 100, [PopMpls(), GotoTable(1)])
+    packet = packet_for()
+    packet.push(MplsHeader(42))
+    sw.receive(packet, in_port=1)
+    sim.run()
+    assert packet.popped_labels == [42]
+    assert sw.datapath.punted == 1  # continued to table 1, missed
+
+
+def test_gre_push_pop():
+    sim, net, sw, host = build()
+    out = net.port_between("sw", "h")
+    sw.install_static(Match.for_flow(KEY), 100, [SetGreKey(7), Output(out)])
+    packet = packet_for()
+    sw.receive(packet, in_port=1)
+    sim.run()
+    assert host.recv_tap.total_packets == 1
+
+
+def test_drop_action():
+    sim, net, sw, host = build()
+    sw.install_static(Match.any(), 1, [Drop()])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.dropped_policy == 1
+
+
+def test_controller_action_punts():
+    sim, net, sw, host = build()
+    sw.install_static(Match.any(), 1, [Controller(reason="custom")])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.punted == 1
+
+
+def test_group_action_executes_bucket():
+    sim, net, sw, host = build()
+    out = net.port_between("sw", "h")
+    sw.add_static_group(GroupEntry(1, "select", [Bucket([PushMpls(5), Output(out)])]))
+    sw.install_static(Match.any(), 1, [Group(1)])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert host.recv_tap.total_packets == 1
+    group = sw.datapath.groups.get(1)
+    assert group.buckets[0].packets == 1
+
+
+def test_missing_group_drops():
+    sim, net, sw, host = build()
+    sw.install_static(Match.any(), 1, [Group(99)])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.dropped_no_route == 1
+
+
+def test_output_to_missing_port_drops():
+    sim, net, sw, host = build()
+    sw.install_static(Match.any(), 1, [Output(250)])
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.dropped_no_route == 1
+
+
+def test_ingress_buffer_overflow_drops():
+    sim, net, sw, host = build(profile=PICA8_PRONTO_3780.variant(datapath_pps=1.0))
+    for _ in range(INGRESS_BUFFER + 50):
+        sw.receive(packet_for(), in_port=1)
+    assert sw.datapath.dropped_no_buffer >= 49
+
+
+def test_dead_switch_ignores_traffic():
+    sim, net, sw, host = build()
+    sw.fail()
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.processed == 0
+    sw.recover()
+    sw.receive(packet_for(), in_port=1)
+    sim.run()
+    assert sw.datapath.processed == 1
+
+
+def test_forwarding_budget_paces_throughput():
+    sim, net, sw, host = build(profile=IDEAL_SWITCH.variant(datapath_pps=10.0))
+    out = net.port_between("sw", "h")
+    sw.install_static(Match.for_flow(KEY), 100, [Output(out)])
+    for _ in range(5):
+        sw.receive(packet_for(), in_port=1)
+    sim.run()
+    # 5 packets at 10 pps -> last leaves the pipeline at ~0.5 s.
+    assert sim.now >= 0.5
+
+
+def test_hop_recorded():
+    sim, net, sw, host = build()
+    packet = packet_for()
+    sw.receive(packet, in_port=1)
+    sim.run()
+    assert "sw" in packet.hops

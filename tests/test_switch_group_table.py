@@ -1,0 +1,124 @@
+"""Tests for group tables (select-type load balancing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import Packet
+from repro.switch.actions import Output
+from repro.switch.group_table import Bucket, GroupEntry, GroupTable
+
+
+def make_packet(sport):
+    return Packet("1.1.1.1", "2.2.2.2", src_port=sport, dst_port=80)
+
+
+def make_group(n_buckets=3, group_type="select", weights=None):
+    weights = weights or [1] * n_buckets
+    buckets = [Bucket(actions=[Output(i + 1)], weight=weights[i], label=f"b{i}")
+               for i in range(n_buckets)]
+    return GroupEntry(1, group_type, buckets)
+
+
+def test_select_is_sticky_per_flow():
+    group = make_group()
+    packet = make_packet(1234)
+    chosen = group.select_bucket(packet)
+    for _ in range(10):
+        assert group.select_bucket(make_packet(1234)) is chosen
+
+
+def test_select_spreads_across_buckets():
+    group = make_group(4)
+    chosen = {group.select_bucket(make_packet(p)).label for p in range(200)}
+    assert chosen == {"b0", "b1", "b2", "b3"}
+
+
+def test_select_roughly_balanced():
+    group = make_group(2)
+    counts = {"b0": 0, "b1": 0}
+    for p in range(1000):
+        counts[group.select_bucket(make_packet(p)).label] += 1
+    assert 350 < counts["b0"] < 650
+
+
+def test_weighted_selection_respects_weights():
+    group = make_group(2, weights=[3, 1])
+    counts = {"b0": 0, "b1": 0}
+    for p in range(2000):
+        counts[group.select_bucket(make_packet(p)).label] += 1
+    assert counts["b0"] > counts["b1"] * 2
+
+
+def test_indirect_group_uses_first_bucket():
+    group = make_group(1, group_type="indirect")
+    assert group.select_bucket(make_packet(1)).label == "b0"
+
+
+def test_empty_group_returns_none():
+    group = GroupEntry(1, "select", [])
+    assert group.select_bucket(make_packet(1)) is None
+
+
+def test_invalid_group_type_rejected():
+    with pytest.raises(ValueError):
+        GroupEntry(1, "bogus")
+
+
+def test_bucket_weight_validation():
+    with pytest.raises(ValueError):
+        Bucket(actions=[], weight=0)
+
+
+def test_hash_seed_changes_mapping():
+    a = GroupEntry(1, "select", [Bucket([Output(i)]) for i in range(4)], hash_seed=0)
+    b = GroupEntry(1, "select", [Bucket([Output(i)]) for i in range(4)], hash_seed=1)
+    differs = any(
+        a.select_bucket(make_packet(p)) is not a.buckets[
+            b.buckets.index(b.select_bucket(make_packet(p)))]
+        for p in range(50)
+    )
+    assert differs
+
+
+def test_replace_bucket_keeps_other_positions():
+    group = make_group(3)
+    before = [group.select_bucket(make_packet(p)).label for p in range(100)]
+    old = group.replace_bucket(1, Bucket(actions=[Output(99)], label="backup"))
+    assert old.label == "b1"
+    after = [group.select_bucket(make_packet(p)).label for p in range(100)]
+    for b, a in zip(before, after):
+        if b != "b1":
+            assert a == b  # unrelated flows did not move
+        else:
+            assert a == "backup"
+
+
+def test_find_bucket():
+    group = make_group(3)
+    assert group.find_bucket("b2") == 2
+    assert group.find_bucket("zz") is None
+
+
+def test_group_table_crud():
+    table = GroupTable()
+    group = make_group()
+    table.add(group)
+    assert 1 in table
+    assert table.get(1) is group
+    with pytest.raises(ValueError):
+        table.add(make_group())
+    replacement = make_group(2)
+    table.modify(replacement)
+    assert table.get(1) is replacement
+    table.remove(1)
+    assert table.get(1) is None
+    with pytest.raises(KeyError):
+        table.modify(make_group())
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=65535))
+@settings(max_examples=100, deadline=None)
+def test_selection_always_valid_bucket(n_buckets, sport):
+    group = make_group(n_buckets)
+    bucket = group.select_bucket(make_packet(sport))
+    assert bucket in group.buckets

@@ -1,0 +1,62 @@
+"""Sanity checks on the calibrated device models (DESIGN.md §7)."""
+
+from repro.switch.profiles import (
+    HOST_VSWITCH,
+    HP_PROCURVE_6600,
+    IDEAL_SWITCH,
+    OPEN_VSWITCH,
+    PICA8_PRONTO_3780,
+)
+
+
+def test_pica8_matches_paper_constants():
+    p = PICA8_PRONTO_3780
+    assert p.packet_in_rate == 200.0          # Fig. 4
+    assert p.install_lossless_rate == 200.0   # Fig. 9 lossless break
+    assert p.install_saturated_rate == 1000.0  # Fig. 9 plateau
+    assert p.degradation_knee == 1300.0       # Fig. 10 turning point
+    assert p.port_rate_bps == 10e9            # §3.2 "10 Gbps data ports"
+    assert p.supports_groups and p.supports_tunnels
+    assert p.n_tables >= 3                    # §5.2 needs two tables + static
+
+
+def test_hp_has_higher_ofa_but_no_advanced_dataplane():
+    hp = HP_PROCURVE_6600
+    assert hp.packet_in_rate > PICA8_PRONTO_3780.packet_in_rate  # Fig. 3
+    assert not hp.supports_groups
+    assert not hp.supports_tunnels  # §3.3: why the paper uses Pica8
+    assert hp.port_rate_bps == 1e9
+
+
+def test_ovs_control_path_dwarfs_hardware_switches():
+    ovs = OPEN_VSWITCH
+    assert ovs.packet_in_rate >= 10 * PICA8_PRONTO_3780.packet_in_rate
+    assert ovs.install_lossless_rate >= 10 * PICA8_PRONTO_3780.install_lossless_rate
+    # ... but its data plane is far below hardware (§4).
+    assert ovs.datapath_pps < PICA8_PRONTO_3780.datapath_pps
+    assert ovs.degradation_knee == float("inf")  # no HW/SW write contention
+
+
+def test_datapath_gap_is_orders_of_magnitude():
+    """§4: the control path is 'several orders of magnitude lower' than
+    the data plane."""
+    p = PICA8_PRONTO_3780
+    assert p.datapath_pps / p.packet_in_rate >= 1000
+
+
+def test_variant_overrides_single_field():
+    variant = PICA8_PRONTO_3780.variant(tcam_capacity=16)
+    assert variant.tcam_capacity == 16
+    assert variant.packet_in_rate == PICA8_PRONTO_3780.packet_in_rate
+    # The original is untouched (frozen dataclass).
+    assert PICA8_PRONTO_3780.tcam_capacity == 8192
+
+
+def test_host_vswitch_is_an_ovs_variant():
+    assert HOST_VSWITCH.packet_in_rate == OPEN_VSWITCH.packet_in_rate
+    assert HOST_VSWITCH.name != OPEN_VSWITCH.name
+
+
+def test_ideal_switch_effectively_unconstrained():
+    assert IDEAL_SWITCH.packet_in_rate >= 1e6
+    assert IDEAL_SWITCH.tcam_capacity >= 1e6
