@@ -10,6 +10,11 @@ Installed as ``scotch-repro`` (or run via ``python -m repro.cli``)::
     scotch-repro ablation             # Scotch vs the §4 baselines
     scotch-repro tcam                 # the §3.3 TCAM-bottleneck scenario
     scotch-repro report -o REPORT.md  # every figure + ablation, one file
+
+Every run command also takes the observability flags (docs/observability.md)::
+
+    scotch-repro fig 3 --quick --trace fig3.trace.jsonl --metrics fig3.metrics.jsonl
+    scotch-repro inspect fig3.trace.jsonl   # per-stage p50/p99 summary
 """
 
 from __future__ import annotations
@@ -233,6 +238,32 @@ def cmd_tcam(args) -> int:
     return 0
 
 
+def cmd_inspect(args) -> int:
+    """Summarize a JSONL trace: per-stage latency percentiles + routes."""
+    from repro.obs.inspect import stage_rows, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"not a JSONL trace file: {args.trace} ({exc})", file=sys.stderr)
+        return 2
+    _print(format_table(
+        ["stage", "count", "mean (ms)", "p50 (ms)", "p99 (ms)", "max (ms)"],
+        stage_rows(summary),
+        title=f"Trace summary — {args.trace}",
+    ))
+    pktin = summary["packet_in"]
+    routes = ", ".join(f"{route}={count}" for route, count in pktin["routes"].items())
+    print(f"records: {summary['records']}  spans: {summary['spans']}  "
+          f"instants: {summary['instants']}  open spans: {summary['open_spans']}")
+    print(f"Packet-In journeys: {pktin['count']}  via overlay relay: "
+          f"{pktin['relayed']}  routes: {routes or '-'}")
+    return 0
+
+
 def cmd_report(args) -> int:
     """Run every figure + ablation and write one markdown report."""
     sections: List[str] = [
@@ -257,6 +288,101 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.set_defaults(obs_capable=True)
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE",
+        help="record a control-path trace; writes FILE (JSONL) plus a "
+             "Chrome trace_event twin (open in chrome://tracing / Perfetto)")
+    group.add_argument(
+        "--metrics", metavar="FILE",
+        help="record counters/gauges/histograms to FILE (JSONL)")
+    group.add_argument(
+        "--sample-interval", type=float, default=None, metavar="SEC",
+        help="with --metrics: also sample every gauge/counter each SEC "
+             "simulation seconds (adds daemon events to the calendar)")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="profile the engine (per-callback wall time, heap depth) "
+             "and print the hot-callback table")
+    group.add_argument(
+        "--manifest", metavar="FILE",
+        help="write a reproducibility manifest (command, seed, config, "
+             "switch profiles, output paths) to FILE")
+
+
+def chrome_trace_path(trace_path: str) -> str:
+    """`x.trace.jsonl` -> `x.trace.chrome.json` (else just append)."""
+    if trace_path.endswith(".jsonl"):
+        return trace_path[: -len(".jsonl")] + ".chrome.json"
+    return trace_path + ".chrome.json"
+
+
+def _wants_obs(args) -> bool:
+    return getattr(args, "obs_capable", False) and bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "manifest", None)
+    )
+
+
+def _run_observed(args, argv: Optional[List[str]]) -> int:
+    """Run ``args.func`` with a live Observability installed as the
+    process default (so experiment runners that build their own
+    simulators are instrumented too), then export what was asked for."""
+    from repro.obs import Observability, observed
+
+    obs = Observability(
+        trace=bool(args.trace),
+        metrics=bool(args.metrics),
+        profile=args.profile,
+        sample_interval=args.sample_interval,
+    )
+    with observed(obs):
+        status = args.func(args)
+    if args.trace:
+        lines = obs.tracer.export_jsonl(args.trace)
+        chrome = chrome_trace_path(args.trace)
+        events = obs.tracer.export_chrome(chrome)
+        print(f"trace: {lines} records -> {args.trace}; "
+              f"{events} Chrome events -> {chrome}")
+    if args.metrics:
+        lines = obs.metrics.export_jsonl(args.metrics)
+        print(f"metrics: {lines} lines -> {args.metrics}")
+    if args.profile and obs.profiler is not None:
+        print()
+        _print(format_table(
+            ["callback", "events", "total (ms)", "mean (us)", "max (us)"],
+            obs.profiler.report_rows(top=15),
+            title="Engine profile — hottest callbacks",
+        ))
+        print(f"profile: {obs.profiler.summary()}")
+    if args.manifest:
+        from repro.core.config import ScotchConfig
+        from repro.obs.manifest import build_manifest, write_manifest
+        from repro.switch.profiles import (
+            HP_PROCURVE_6600,
+            OPEN_VSWITCH,
+            PICA8_PRONTO_3780,
+        )
+
+        manifest = build_manifest(
+            command=["scotch-repro"] + list(argv if argv is not None else sys.argv[1:]),
+            seed=getattr(args, "seed", None),
+            config=ScotchConfig(),
+            profiles=[PICA8_PRONTO_3780, HP_PROCURVE_6600, OPEN_VSWITCH],
+            trace_path=args.trace,
+            chrome_trace_path=chrome_trace_path(args.trace) if args.trace else None,
+            metrics_path=args.metrics,
+            extra={"simulators": obs.runs, "exit_status": status},
+        )
+        write_manifest(args.manifest, manifest)
+        print(f"manifest -> {args.manifest}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scotch-repro",
@@ -271,30 +397,42 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="flood demo with/without Scotch")
     demo.add_argument("--attack-rate", type=float, default=2000.0)
     demo.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     fig = sub.add_parser("fig", help="regenerate one paper figure")
     fig.add_argument("number", help="figure number (3,4,9,10,11,12,13,14,15)")
     fig.add_argument("--quick", action="store_true", help="smaller, faster variant")
+    _add_obs_flags(fig)
     fig.set_defaults(func=cmd_fig)
 
     ablation = sub.add_parser("ablation", help="Scotch vs the baseline schemes")
     ablation.add_argument("--quick", action="store_true")
+    _add_obs_flags(ablation)
     ablation.set_defaults(func=cmd_ablation)
 
     tcam = sub.add_parser("tcam", help="the §3.3 TCAM-bottleneck scenario")
     tcam.add_argument("--quick", action="store_true")
+    _add_obs_flags(tcam)
     tcam.set_defaults(func=cmd_tcam)
 
     report = sub.add_parser("report", help="run everything, write a markdown report")
     report.add_argument("--quick", action="store_true")
     report.add_argument("-o", "--output", default="REPORT.md")
+    _add_obs_flags(report)
     report.set_defaults(func=cmd_report)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a JSONL trace (stage p50/p99, routes)")
+    inspect.add_argument("trace", help="trace file written by --trace")
+    inspect.set_defaults(func=cmd_inspect)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if _wants_obs(args):
+        return _run_observed(args, argv)
     return args.func(args)
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.obs import path as obs_path
 from repro.openflow.messages import (
     ADD,
     BarrierReply,
@@ -55,6 +56,9 @@ class OpenFlowController:
         self.stats_replies_received = 0
         self.flow_removed_received = 0
         self.errors_received = 0
+        self._obs = sim.obs
+        self._m_packet_ins = sim.obs.metrics.counter("controller.packet_ins")
+        self._m_errors = sim.obs.metrics.counter("controller.errors")
 
     # ------------------------------------------------------------------
     # Registration
@@ -82,8 +86,21 @@ class OpenFlowController:
     def _receive(self, dpid: str, message: Message) -> None:
         if isinstance(message, PacketIn):
             self.packet_ins_received += 1
+            self._m_packet_ins.inc()
+            packet = message.packet
+            if packet is not None:
+                obs_path.packet_in_received(
+                    self._obs, packet, dpid,
+                    relayed=message.metadata.get("tunnel_id") is not None,
+                )
             for app in self.apps:
                 app.packet_in(dpid, message)
+            # Apps that decide asynchronously (Scotch's Fig. 7 queues)
+            # mark the packet deferred and close the trace at decision
+            # time; everything else (reactive installs, unclaimed
+            # Packet-Ins) is settled by the time dispatch returns.
+            if packet is not None and not obs_path.deferred(packet):
+                obs_path.decision(self._obs, packet, route="inline")
         elif isinstance(message, FlowStatsReply):
             self.stats_replies_received += 1
             for app in self.apps:
@@ -94,6 +111,7 @@ class OpenFlowController:
                 app.flow_removed(dpid, message)
         elif isinstance(message, ErrorMessage):
             self.errors_received += 1
+            self._m_errors.inc()
             for app in self.apps:
                 app.error(dpid, message)
         elif isinstance(message, PortStatsReply):

@@ -42,6 +42,7 @@ from repro.core.flow_manager import (
 )
 from repro.core.migration import OVERLAY_COOKIE, ElephantMigrator
 from repro.core.monitor import CongestionMonitor
+from repro.obs import path as obs_path
 from repro.core.overlay import ScotchOverlay
 from repro.core.policy import PolicyRegistry
 from repro.core.withdrawal import WithdrawalManager
@@ -97,6 +98,7 @@ class ScotchApp(BaseApp):
     # Wiring
     # ------------------------------------------------------------------
     def start(self) -> None:
+        self._obs = self.sim.obs
         self.router = Router(self.network)
         if self._policy is None:
             self._policy = PolicyRegistry(self.network, self.overlay)
@@ -203,6 +205,8 @@ class ScotchApp(BaseApp):
         attribution = self.overlay.attribute_packet_in(dpid, message)
         if attribution is not None:
             origin, ingress_port = attribution
+            obs_path.attribute(self._obs, packet, origin, ingress_port)
+            self._obs.metrics.counter(f"overlay.relay.{dpid}").inc()
             self._intake(origin, ingress_port, packet, entry_vswitch=dpid)
         elif dpid in self.schedulers:
             self._intake(dpid, message.in_port, packet, entry_vswitch=None)
@@ -250,8 +254,17 @@ class ScotchApp(BaseApp):
             packet=packet,
             entry_vswitch=entry_vswitch,
         )
+        # The decision comes out of the Fig. 7 queues at a later event;
+        # keep the control-path trace open until then.
+        obs_path.defer(packet)
         if self.schedulers[first_hop].submit_new_flow(pending) == DROPPED:
             self.flow_db.set_route(key, ROUTE_DROPPED)
+            obs_path.decision(self._obs, packet, route="dropped")
+
+    def _decision(self, pending: PendingFlow, route: str) -> None:
+        """Close the packet's control-path trace with its routing fate."""
+        if pending.packet is not None:
+            obs_path.decision(self._obs, pending.packet, route=route)
 
     # ------------------------------------------------------------------
     # Admission to the physical network (rate-R service)
@@ -263,12 +276,14 @@ class ScotchApp(BaseApp):
         if host is None:
             self.unroutable += 1
             self.flow_db.set_route(key, ROUTE_DROPPED)
+            self._decision(pending, "dropped")
             return
         try:
             path = self.policy.physical_path(pending.first_hop, host.name, info.middlebox_chain)
         except Exception:
             self.unroutable += 1
             self.flow_db.set_route(key, ROUTE_DROPPED)
+            self._decision(pending, "dropped")
             return
         # §3.3 TCAM bottleneck: never install onto a switch whose table
         # is (predicted or observed) full — route the flow over the
@@ -308,6 +323,7 @@ class ScotchApp(BaseApp):
             # Destination is local to the first hop with no switch hop —
             # nothing to install.
             self.flow_db.set_route(key, ROUTE_PHYSICAL)
+            self._decision(pending, "physical")
             return
 
         for rule in rules:
@@ -358,6 +374,7 @@ class ScotchApp(BaseApp):
         else:
             finish()
         self.flow_db.set_route(key, ROUTE_PHYSICAL)
+        self._decision(pending, "physical")
 
     # ------------------------------------------------------------------
     # Overlay routing (over-threshold drain)
@@ -369,18 +386,21 @@ class ScotchApp(BaseApp):
         if host is None:
             self.unroutable += 1
             self.flow_db.set_route(key, ROUTE_DROPPED)
+            self._decision(pending, "dropped")
             return
         entry = pending.entry_vswitch
         if entry is None or entry in self.overlay.dead:
             entry = self._hash_entry_vswitch(pending.first_hop, key)
             if entry is None:
                 self.flow_db.set_route(key, ROUTE_DROPPED)
+                self._decision(pending, "dropped")
                 return
         try:
             rules = self.policy.overlay_route(key, entry, host.name, info.middlebox_chain)
         except Exception:
             self.unroutable += 1
             self.flow_db.set_route(key, ROUTE_DROPPED)
+            self._decision(pending, "dropped")
             return
         # vSwitch installs are cheap: send directly, last hop first.
         for rule in rules:
@@ -402,6 +422,7 @@ class ScotchApp(BaseApp):
         info.reinject = (entry_rule.dpid, list(entry_rule.actions))
         self._flush_held(info)
         self.flow_db.set_route(key, ROUTE_OVERLAY)
+        self._decision(pending, "overlay")
 
     # ------------------------------------------------------------------
     # TCAM occupancy prediction (§3.3 mitigation)

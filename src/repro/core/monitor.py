@@ -52,10 +52,19 @@ class CongestionMonitor:
         self.pressure_check = pressure_check
         self._switches: Dict[str, _SwitchState] = {}
         self._running = False
+        self._obs = sim.obs
 
     def watch(self, dpid: str, profile: "SwitchProfile") -> None:
         if dpid not in self._switches:
             self._switches[dpid] = _SwitchState(profile)
+            if self._obs.metrics.enabled:
+                self._obs.metrics.gauge(
+                    f"monitor.{dpid}.new_flow_rate", fn=lambda d=dpid: self.rate(d)
+                )
+                self._obs.metrics.gauge(
+                    f"monitor.{dpid}.congested",
+                    fn=lambda d=dpid: float(self.is_congested(d)),
+                )
 
     def observe_new_flow(self, dpid: str, count: int = 1) -> None:
         """Record new-flow arrivals attributed to ``dpid`` (direct
@@ -91,7 +100,14 @@ class CongestionMonitor:
         if state is not None and not state.congested:
             state.congested = True
             state.below_since = None
+            self._instant("overlay.activate", dpid, reason="forced")
             self.on_congested(dpid)
+
+    def _instant(self, name: str, dpid: str, **args) -> None:
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            tracer.instant(name, track="monitor", switch=dpid,
+                           rate=self.rate(dpid), **args)
 
     # ------------------------------------------------------------------
     # Periodic evaluation
@@ -119,6 +135,8 @@ class CongestionMonitor:
                 ):
                     state.congested = True
                     state.below_since = None
+                    self._instant("overlay.activate", dpid,
+                                  table_full_rate=table_full)
                     self.on_congested(dpid)
             else:
                 calm = (
@@ -132,6 +150,7 @@ class CongestionMonitor:
                     elif self.sim.now - state.below_since >= self.config.withdraw_hold:
                         state.congested = False
                         state.below_since = None
+                        self._instant("overlay.withdraw", dpid)
                         self.on_cleared(dpid)
                 else:
                     state.below_since = None

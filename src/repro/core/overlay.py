@@ -89,6 +89,13 @@ class ScotchOverlay:
         #: switches where the overlay is currently active.
         self.active: Set[str] = set()
         self._round_robin = 0
+        self._obs = network.sim.obs
+        if self._obs.metrics.enabled:
+            metrics = self._obs.metrics
+            metrics.gauge("overlay.mesh_vswitches", fn=lambda: len(self.mesh))
+            metrics.gauge("overlay.dead_vswitches", fn=lambda: len(self.dead))
+            metrics.gauge("overlay.active_switches", fn=lambda: len(self.active))
+            metrics.gauge("overlay.tunnels", fn=lambda: len(self.fabric.tunnels))
 
     # ------------------------------------------------------------------
     # Offline construction
@@ -202,6 +209,13 @@ class ScotchOverlay:
         if tunnel_id is None or tunnel_id not in self.tunnel_origin:
             return None
         origin = self.tunnel_origin[tunnel_id]
+        if self._obs.metrics.enabled:
+            # Per-tunnel relay load: the control-plane "utilization" of
+            # the switch->vSwitch tunnel this Packet-In rode in on.
+            entry = self.tunnel_entry_vswitch.get(tunnel_id)
+            self._obs.metrics.counter(
+                f"overlay.tunnel.{origin}->{entry}.packet_ins"
+            ).inc()
         inner = message.metadata.get("inner_label")
         port_info = self.port_labels.get(inner) if inner is not None else None
         return origin, (port_info[1] if port_info else 0)

@@ -2,13 +2,17 @@
 
 The paper's workflow is tcpdump → offline trace analysis; the analogue
 here is dumping a :class:`~repro.metrics.recorder.PacketRecorder`'s
-per-flow records (or a whole experiment's taps) to CSV, so results can
-be re-analyzed without re-running the simulation.
+per-flow records (or a whole experiment's taps) to CSV or JSONL, so
+results can be re-analyzed without re-running the simulation.  The
+JSONL variant shares its format family with the observability exports
+(:mod:`repro.obs`): one object per line, stable key order, types
+preserved (no string round-trip for floats/None).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from typing import Dict, List, Optional
 
 from repro.metrics.recorder import PacketRecorder
@@ -71,6 +75,49 @@ def read_flow_records(path: str) -> List[Dict[str, object]]:
                 "setup_latency": _parse(row["setup_latency"]),
                 "completion_time": _parse(row["completion_time"]),
             })
+    return out
+
+
+def _record_dict(key, record) -> Dict[str, object]:
+    return {
+        "src_ip": key.src_ip,
+        "dst_ip": key.dst_ip,
+        "proto": key.proto,
+        "src_port": key.src_port,
+        "dst_port": key.dst_port,
+        "first_sent_at": record.first_sent_at,
+        "first_received_at": record.first_received_at,
+        "last_received_at": record.last_received_at,
+        "packets_sent": record.packets_sent,
+        "packets_received": record.packets_received,
+        "bytes_received": record.bytes_received,
+        "succeeded": record.succeeded,
+        "setup_latency": record.setup_latency,
+        "completion_time": record.completion_time,
+    }
+
+
+def write_flow_records_jsonl(path: str, tap: PacketRecorder) -> int:
+    """Dump one tap's per-flow records as JSONL; returns the row count."""
+    rows = 0
+    with open(path, "w") as handle:
+        for key, record in sorted(tap.records.items()):
+            handle.write(json.dumps(_record_dict(key, record), sort_keys=True,
+                                    separators=(",", ":")))
+            handle.write("\n")
+            rows += 1
+    return rows
+
+
+def read_flow_records_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL file produced by :func:`write_flow_records_jsonl`;
+    same record shape as :func:`read_flow_records`."""
+    out: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
     return out
 
 

@@ -1,0 +1,84 @@
+"""Trace summarization — the engine behind ``scotch-repro inspect``.
+
+Reads a JSONL trace (:func:`repro.obs.tracer.read_jsonl` format) and
+reduces it to the numbers a human wants first: span counts and
+per-stage latency percentiles for the control path, route outcomes of
+the Packet-In journeys, and how many rode the overlay relay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.stats import mean, percentile
+from repro.obs.path import SPAN_PACKET_IN
+from repro.obs.tracer import read_jsonl
+
+
+def _duration(record: Dict[str, Any]) -> Optional[float]:
+    t1 = record.get("t1")
+    return None if t1 is None else t1 - record["t0"]
+
+
+def summarize_trace(path: str) -> Dict[str, Any]:
+    """Load + summarize a JSONL trace.
+
+    Returns::
+
+        {
+          "records": int, "spans": int, "instants": int, "open_spans": int,
+          "stages": {name: {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms"}},
+          "packet_in": {"count", "relayed", "routes": {route: count}},
+        }
+    """
+    records = read_jsonl(path)
+    durations: Dict[str, List[float]] = {}
+    spans = instants = open_spans = 0
+    pktin_count = relayed = 0
+    routes: Dict[str, int] = {}
+    for record in records:
+        if record.get("type") == "instant":
+            instants += 1
+            continue
+        spans += 1
+        duration = _duration(record)
+        if duration is None:
+            open_spans += 1
+        else:
+            durations.setdefault(record["name"], []).append(duration)
+        if record["name"] == SPAN_PACKET_IN:
+            pktin_count += 1
+            args = record.get("args", {})
+            if args.get("relay") is not None:
+                relayed += 1
+            route = args.get("route", "open")
+            routes[route] = routes.get(route, 0) + 1
+    stages = {
+        name: {
+            "count": len(values),
+            "mean_ms": mean(values) * 1e3,
+            "p50_ms": percentile(values, 50) * 1e3,
+            "p99_ms": percentile(values, 99) * 1e3,
+            "max_ms": max(values) * 1e3,
+        }
+        for name, values in sorted(durations.items())
+    }
+    return {
+        "records": len(records),
+        "spans": spans,
+        "instants": instants,
+        "open_spans": open_spans,
+        "stages": stages,
+        "packet_in": {"count": pktin_count, "relayed": relayed,
+                      "routes": dict(sorted(routes.items()))},
+    }
+
+
+def stage_rows(summary: Dict[str, Any]) -> List[List[Any]]:
+    """Tabulation rows: [stage, count, mean ms, p50 ms, p99 ms, max ms]."""
+    return [
+        [name, stats["count"], round(stats["mean_ms"], 4),
+         round(stats["p50_ms"], 4), round(stats["p99_ms"], 4),
+         round(stats["max_ms"], 4)]
+        for name, stats in summary["stages"].items()
+    ]

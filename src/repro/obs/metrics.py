@@ -1,0 +1,235 @@
+"""Named counters, gauges and fixed-bucket histograms.
+
+Components register instruments once (usually in their constructor) and
+update them inline; a :class:`MetricsSampler` daemon snapshots every
+gauge and counter on a configurable simulation-time tick, yielding the
+time series (OFA queue depth, per-vSwitch relay rate, flow-table
+occupancy, ...) that end-of-run aggregates cannot show.
+
+All values are simulation-derived — counts and sim-time latencies —
+so a metrics file is as reproducible as the run that produced it.
+Export is JSONL, matching the tracer's format family:
+
+* ``{"type": "sample", "run": R, "t": T, "name": N, "value": V}``
+* ``{"type": "counter", "name": N, "value": V}``    (final)
+* ``{"type": "gauge", "name": N, "value": V}``      (final)
+* ``{"type": "histogram", "name": N, "buckets": [...], "counts": [...],
+    "count": C, "sum": S, "min": m, "max": M}``
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets for control-path latencies, seconds
+#: (100 µs .. 10 s, roughly logarithmic).
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for small integer distributions (queue depths, batch
+#: sizes).
+COUNT_BUCKETS: Tuple[float, ...] = (0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read through a
+    callback (``fn``) at sample time — callbacks let components expose
+    live state (queue backlogs, table sizes) without a write per event."""
+
+    __slots__ = ("name", "fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def read(self) -> float:
+        return float(self.fn()) if self.fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` counts observations
+    ``<= buckets[i]``; the implicit last bucket is +inf."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_S):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket counts (upper bucket bound)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max if self.max is not None else self.buckets[-1]
+        return self.max if self.max is not None else self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry plus the sampled time series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: (run, sim time, name, value) gauge/counter snapshots.
+        self.samples: List[Tuple[int, float, str, float]] = []
+
+    # -- registration (get-or-create; a gauge re-registered with a new
+    # callback rebinds, so rebuilt deployments keep their names) --------
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, buckets)
+        return histogram
+
+    # -- sampling -------------------------------------------------------
+    def sample(self, now: float, run: int = 0) -> None:
+        """Snapshot every gauge and counter at simulation time ``now``
+        (what the daemon sampler calls each tick)."""
+        for name in sorted(self.gauges):
+            self.samples.append((run, now, name, self.gauges[name].read()))
+        for name in sorted(self.counters):
+            self.samples.append((run, now, name, float(self.counters[name].value)))
+
+    # -- export ---------------------------------------------------------
+    def export_jsonl(self, path: str) -> int:
+        """Write samples then final instrument states; returns line count."""
+        lines = 0
+        with open(path, "w") as handle:
+            def emit(record: Dict[str, Any]) -> None:
+                nonlocal lines
+                handle.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")))
+                handle.write("\n")
+                lines += 1
+
+            for run, t, name, value in self.samples:
+                emit({"type": "sample", "run": run, "t": t,
+                      "name": name, "value": value})
+            for name in sorted(self.counters):
+                emit({"type": "counter", "name": name,
+                      "value": self.counters[name].value})
+            for name in sorted(self.gauges):
+                emit({"type": "gauge", "name": name,
+                      "value": self.gauges[name].read()})
+            for name in sorted(self.histograms):
+                histogram = self.histograms[name]
+                emit({
+                    "type": "histogram", "name": name,
+                    "buckets": list(histogram.buckets),
+                    "counts": list(histogram.counts),
+                    "count": histogram.count, "sum": histogram.sum,
+                    "min": histogram.min, "max": histogram.max,
+                })
+        return lines
+
+
+class MetricsSampler:
+    """Daemon process snapshotting a registry on a sim-time tick.
+
+    Scheduled as daemon events, so an un-horizoned run still stops when
+    its real work drains.  One sampler is created per bound simulator by
+    :meth:`repro.obs.Observability.bind`.
+    """
+
+    def __init__(self, sim: Any, registry: MetricsRegistry,
+                 interval: float, run: int = 0):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.run = run
+        self.ticks = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self.interval, self._tick, daemon=True)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.registry.sample(self.sim.now, run=self.run)
+        self.ticks += 1
+        self.sim.schedule(self.interval, self._tick, daemon=True)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a metrics file exported by :meth:`MetricsRegistry.export_jsonl`."""
+    out: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

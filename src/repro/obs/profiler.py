@@ -1,0 +1,101 @@
+"""Built-in engine profiler: find the hot callbacks.
+
+Attaches to a :class:`~repro.sim.engine.Simulator` through its event
+hook (``set_event_hook``) and accounts, per callback ``__qualname__``:
+event count, total/max wall-clock seconds spent inside the callback,
+plus calendar-heap depth samples.  This is the Fig. 4 exercise turned
+inward — profiling the simulator itself so later performance PRs know
+where the wall time actually goes.
+
+Wall-clock numbers are inherently non-reproducible; they live only in
+the profiler report, never in traces or metrics files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class CallbackStats:
+    __slots__ = ("name", "count", "total_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, wall_s: float) -> None:
+        self.count += 1
+        self.total_s += wall_s
+        if wall_s > self.max_s:
+            self.max_s = wall_s
+
+
+class EngineProfiler:
+    """Per-callback wall-clock accounting + heap-depth sampling."""
+
+    def __init__(self) -> None:
+        self.callbacks: Dict[str, CallbackStats] = {}
+        self.events_fired = 0
+        self.heap_depth_max = 0
+        self._heap_depth_sum = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, sim: Any) -> None:
+        """Install this profiler as ``sim``'s event hook."""
+        sim.set_event_hook(self.on_event_fired)
+
+    def detach(self, sim: Any) -> None:
+        sim.set_event_hook(None)
+
+    # ------------------------------------------------------------------
+    # The hook (called by the engine after every fired event)
+    # ------------------------------------------------------------------
+    def on_event_fired(self, event: Any, wall_s: float, heap_depth: int) -> None:
+        name = getattr(event.callback, "__qualname__", None)
+        if name is None:  # e.g. a functools.partial
+            name = repr(getattr(event.callback, "func", event.callback))
+        stats = self.callbacks.get(name)
+        if stats is None:
+            stats = self.callbacks[name] = CallbackStats(name)
+        stats.add(wall_s)
+        self.events_fired += 1
+        self._heap_depth_sum += heap_depth
+        if heap_depth > self.heap_depth_max:
+            self.heap_depth_max = heap_depth
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def heap_depth_mean(self) -> float:
+        return self._heap_depth_sum / self.events_fired if self.events_fired else 0.0
+
+    def hot_callbacks(self, top: Optional[int] = 20) -> List[CallbackStats]:
+        """Callbacks ordered by total wall time, hottest first."""
+        ranked = sorted(self.callbacks.values(),
+                        key=lambda s: (-s.total_s, s.name))
+        return ranked if top is None else ranked[:top]
+
+    def report_rows(self, top: Optional[int] = 20) -> List[List[Any]]:
+        """[[callback, events, total ms, mean us, max us]] for tabulation."""
+        return [
+            [stats.name, stats.count,
+             round(stats.total_s * 1e3, 3),
+             round(stats.total_s / stats.count * 1e6, 2) if stats.count else 0.0,
+             round(stats.max_s * 1e6, 2)]
+            for stats in self.hot_callbacks(top)
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "events_fired": self.events_fired,
+            "distinct_callbacks": len(self.callbacks),
+            "heap_depth_max": self.heap_depth_max,
+            "heap_depth_mean": round(self.heap_depth_mean, 2),
+            "total_callback_wall_s": round(
+                sum(s.total_s for s in self.callbacks.values()), 6),
+        }

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
+from repro.obs.base import get_default_obs
 from repro.sim.rng import RngRegistry
 
 
@@ -70,7 +72,7 @@ class Simulator:
     for both time and randomness (via :attr:`rng`).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, obs: Optional[Any] = None):
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         self._heap: List[Event] = []
@@ -80,6 +82,14 @@ class Simulator:
         #: Non-daemon events still in the heap (fired/discarded ones
         #: excluded); when this reaches zero, an un-horizoned run() ends.
         self._foreground_pending = 0
+        #: Observability context (tracer/metrics/profiler).  Defaults to
+        #: the process-wide default (a no-op unless e.g. the CLI installed
+        #: a live one); components reach it as ``self.sim.obs``.
+        self.obs = obs if obs is not None else get_default_obs()
+        #: Called as ``hook(event, wall_seconds, heap_depth)`` after each
+        #: fired event; None (the default) keeps the loop overhead-free.
+        self._event_hook: Optional[Callable[[Event, float, int], None]] = None
+        self.obs.bind(self)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -133,7 +143,7 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self.now = event.time
-                event.callback(*event.args)
+                self._fire(event)
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
@@ -149,9 +159,26 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
-            event.callback(*event.args)
+            self._fire(event)
             return True
         return False
+
+    def _fire(self, event: Event) -> None:
+        """Run one event's callback, feeding the hook when installed."""
+        hook = self._event_hook
+        if hook is None:
+            event.callback(*event.args)
+        else:
+            start = perf_counter()
+            event.callback(*event.args)
+            hook(event, perf_counter() - start, len(self._heap))
+
+    def set_event_hook(
+        self, hook: Optional[Callable[[Event, float, int], None]]
+    ) -> None:
+        """Install (or clear, with None) the per-event profiling hook.
+        The hook observes only — it must not mutate the calendar."""
+        self._event_hook = hook
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current callback returns."""
@@ -160,10 +187,21 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)
+            if not event.daemon:
+                # Discarding a cancelled foreground event here must keep
+                # the foreground accounting exact, or an un-horizoned
+                # run() would wait on events that no longer exist.
+                self._foreground_pending -= 1
         return self._heap[0].time if self._heap else None
 
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
         return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw calendar size (cancelled events included) — the profiler's
+        memory-pressure signal."""
+        return len(self._heap)

@@ -29,6 +29,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.metrics.meters import RateEstimator
+from repro.obs import path as obs_path
 from repro.openflow.messages import (
     ADD,
     DELETE,
@@ -102,6 +103,20 @@ class OpenFlowAgent:
         self.installs_failed = 0
         self.table_full_failures = 0
 
+        self._obs = sim.obs
+        metrics = sim.obs.metrics
+        if metrics.enabled:
+            metrics.gauge(f"ofa.{switch.name}.packet_in_queue",
+                          self.packet_in_server.backlog)
+            metrics.gauge(f"ofa.{switch.name}.install_queue",
+                          self.install_server.backlog)
+        self._m_packet_ins = metrics.counter(f"ofa.{switch.name}.packet_ins")
+        self._m_packet_in_drops = metrics.counter(
+            f"ofa.{switch.name}.packet_in_drops")
+        self._m_installs = metrics.counter(f"ofa.{switch.name}.installs")
+        self._m_install_failures = metrics.counter(
+            f"ofa.{switch.name}.install_failures")
+
     # ------------------------------------------------------------------
     # Data plane -> controller (Packet-In)
     # ------------------------------------------------------------------
@@ -109,9 +124,12 @@ class OpenFlowAgent:
         """Queue a packet for Packet-In generation.  Returns False when
         the OFA queue overflowed (the packet, and with it the flow's
         setup chance, is lost)."""
+        obs_path.punt_begin(self._obs, packet, self.switch.name, in_port, reason)
         accepted = self.packet_in_server.submit((packet, in_port, reason))
         if not accepted:
             self.packet_ins_dropped += 1
+            self._m_packet_in_drops.inc()
+            obs_path.punt_dropped(self._obs, packet)
         return accepted
 
     def _emit_packet_in(self, item) -> None:
@@ -131,6 +149,8 @@ class OpenFlowAgent:
             metadata=metadata,
         )
         self.packet_ins_sent += 1
+        self._m_packet_ins.inc()
+        obs_path.packet_in_sent(self._obs, packet, self.switch.name)
         self.channel.send_to_controller(message)
 
     # ------------------------------------------------------------------
@@ -190,14 +210,24 @@ class OpenFlowAgent:
             self.sim.schedule(_CHEAP_MESSAGE_DELAY, self._apply_delete, message)
             return
         self.installs_attempted += 1
+        tracer = self._obs.tracer
+        span = tracer.begin(
+            obs_path.SPAN_INSTALL, track=f"switch:{self.switch.name}",
+            switch=self.switch.name,
+        ) if tracer.enabled else -1
         self._attempt_meter.observe(self.sim.now)
         if self._rng.random() > self._success_probability(self.attempted_install_rate()):
             self.installs_failed += 1
+            self._m_install_failures.inc()
+            tracer.end(span, outcome="lost")
             return
-        if not self.install_server.submit(message):
+        if not self.install_server.submit((message, span)):
             self.installs_failed += 1
+            self._m_install_failures.inc()
+            tracer.end(span, outcome="queue_full")
 
-    def _commit_flow_mod(self, message: FlowMod) -> None:
+    def _commit_flow_mod(self, item) -> None:
+        message, span = item
         table = self.switch.datapath.table(message.table_id)
         entry = FlowEntry(
             match=message.match,
@@ -213,6 +243,8 @@ class OpenFlowAgent:
         except TableFullError:
             self.table_full_failures += 1
             self.installs_failed += 1
+            self._m_install_failures.inc()
+            self._obs.tracer.end(span, outcome="table_full")
             # Real switches report this (OFPFMFC_TABLE_FULL); the §3.3
             # TCAM-bottleneck mitigation depends on the controller
             # seeing it.
@@ -226,6 +258,8 @@ class OpenFlowAgent:
             )
             return
         self.installs_succeeded += 1
+        self._m_installs.inc()
+        self._obs.tracer.end(span, outcome="committed")
 
     def _apply_delete(self, message: FlowMod) -> None:
         table = self.switch.datapath.table(message.table_id)

@@ -68,6 +68,12 @@ class OpenFlowSwitch(Node):
         self._sweep_interval = interval
         if interval > 0:
             sim.schedule(interval, self._sweep, daemon=True)
+        if sim.obs.metrics.enabled:
+            # Table-0 (TCAM on hardware) occupancy — the §3.3 bottleneck.
+            sim.obs.metrics.gauge(
+                f"switch.{name}.table0_entries",
+                fn=lambda: len(self.datapath.table(0)),
+            )
 
     def _make_expiry_notifier(self, table_id: int):
         def notify(entry, reason: str) -> None:

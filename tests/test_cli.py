@@ -60,6 +60,48 @@ def test_every_figure_number_is_wired():
         assert f'"{number}"' in source
 
 
+def test_chrome_trace_path_derivation():
+    from repro.cli import chrome_trace_path
+
+    assert chrome_trace_path("run.trace.jsonl") == "run.trace.chrome.json"
+    assert chrome_trace_path("run.out") == "run.out.chrome.json"
+
+
+def test_fig4_quick_with_observability(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "fig4.trace.jsonl"
+    metrics = tmp_path / "fig4.metrics.jsonl"
+    manifest = tmp_path / "fig4.manifest.json"
+    assert main(["fig", "4", "--quick", "--trace", str(trace),
+                 "--metrics", str(metrics), "--profile",
+                 "--manifest", str(manifest)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 4" in out
+    assert "Engine profile" in out
+    # All three artifacts exist and parse.
+    chrome = tmp_path / "fig4.trace.chrome.json"
+    assert trace.exists() and metrics.exists() and chrome.exists()
+    events = json.loads(chrome.read_text())["traceEvents"]
+    assert any(e["ph"] == "X" and e["name"] == "packet_in" for e in events)
+    loaded = json.loads(manifest.read_text())
+    assert loaded["outputs"]["trace_jsonl"] == str(trace)
+    assert loaded["command"][:3] == ["scotch-repro", "fig", "4"]
+    # The trace survives its own inspector.
+    assert main(["inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "packet_in" in out and "p99 (ms)" in out
+    # After the observed run, the process default is back to the no-op.
+    from repro.obs import NULL_OBS, get_default_obs
+
+    assert get_default_obs() is NULL_OBS
+
+
+def test_inspect_missing_file_errors(tmp_path, capsys):
+    assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 def test_all_figures_run_quick(capsys):
     """Every figure subcommand completes in --quick mode."""

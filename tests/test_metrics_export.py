@@ -1,8 +1,13 @@
-"""Tests for CSV export of measurement taps."""
+"""Tests for CSV/JSONL export of measurement taps."""
 
 import pytest
 
-from repro.metrics.export import read_flow_records, write_flow_records
+from repro.metrics.export import (
+    read_flow_records,
+    read_flow_records_jsonl,
+    write_flow_records,
+    write_flow_records_jsonl,
+)
 from repro.metrics.recorder import PacketRecorder
 from repro.net.packet import Packet
 
@@ -40,6 +45,49 @@ def test_empty_tap(tmp_path):
     path = str(tmp_path / "empty.csv")
     assert write_flow_records(path, PacketRecorder()) == 0
     assert read_flow_records(path) == []
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tap = populate()
+    path = str(tmp_path / "flows.jsonl")
+    assert write_flow_records_jsonl(path, tap) == 2
+    records = read_flow_records_jsonl(path)
+    assert len(records) == 2
+    by_src = {r["src_ip"]: r for r in records}
+    ok = by_src["1.1.1.1"]
+    assert ok["succeeded"] is True
+    assert ok["packets_received"] == 2
+    assert ok["bytes_received"] == 1000
+    assert ok["setup_latency"] == pytest.approx(0.5)
+    lost = by_src["3.3.3.3"]
+    assert lost["succeeded"] is False
+    assert lost["first_received_at"] is None
+
+
+def test_jsonl_matches_csv(tmp_path):
+    # The two formats must describe the same records; JSONL keeps exact
+    # floats while CSV goes through 9-decimal text, hence approx.
+    tap = populate()
+    csv_path = str(tmp_path / "flows.csv")
+    jsonl_path = str(tmp_path / "flows.jsonl")
+    write_flow_records(csv_path, tap)
+    write_flow_records_jsonl(jsonl_path, tap)
+    from_csv = read_flow_records(csv_path)
+    from_jsonl = read_flow_records_jsonl(jsonl_path)
+    assert len(from_csv) == len(from_jsonl)
+    for a, b in zip(from_csv, from_jsonl):
+        assert set(a) == set(b)
+        for field in a:
+            if isinstance(a[field], float):
+                assert b[field] == pytest.approx(a[field])
+            else:
+                assert a[field] == b[field]
+
+
+def test_jsonl_empty_tap(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    assert write_flow_records_jsonl(path, PacketRecorder()) == 0
+    assert read_flow_records_jsonl(path) == []
 
 
 def test_export_from_simulation(tmp_path):

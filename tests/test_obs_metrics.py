@@ -1,0 +1,99 @@
+"""Tests for counters/gauges/histograms and the daemon sampler."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    MetricsSampler,
+    read_jsonl,
+)
+from repro.sim.engine import Simulator
+
+
+def test_counter_get_or_create():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    registry.counter("x").inc(2)
+    assert registry.counters["x"].value == 3
+
+
+def test_gauge_callback_and_set():
+    registry = MetricsRegistry()
+    backing = [5]
+    gauge = registry.gauge("depth", fn=lambda: backing[0])
+    assert gauge.read() == 5.0
+    backing[0] = 9
+    assert gauge.read() == 9.0
+    plain = registry.gauge("plain")
+    plain.set(2.5)
+    assert plain.read() == 2.5
+
+
+def test_gauge_reregistration_rebinds_callback():
+    registry = MetricsRegistry()
+    registry.gauge("g", fn=lambda: 1)
+    registry.gauge("g", fn=lambda: 2)
+    assert registry.gauge("g").read() == 2.0
+
+
+def test_histogram_stats():
+    h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 555.5
+    assert h.min == 0.5
+    assert h.max == 500.0
+    assert h.mean() == pytest.approx(138.875)
+    assert h.counts == [1, 1, 1, 1]
+    assert h.quantile(0.25) == 1.0
+    assert h.quantile(1.0) == 500.0  # top bucket reports observed max
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=())
+
+
+def test_sampler_ticks_on_daemon_events():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    registry.counter("events").inc(4)
+    registry.gauge("g", fn=lambda: 7)
+    sampler = MetricsSampler(sim, registry, interval=1.0, run=2)
+    sampler.start()
+    sim.schedule(3.5, lambda: None)  # foreground work defines the horizon
+    sim.run()
+    sampler.stop()
+    assert sampler.ticks == 3  # t=1,2,3 (daemon events end with the work)
+    assert registry.samples[0] == (2, 1.0, "g", 7.0)
+    assert registry.samples[1] == (2, 1.0, "events", 4.0)
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        MetricsSampler(Simulator(), MetricsRegistry(), interval=0.0)
+
+
+def test_export_jsonl(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h", buckets=COUNT_BUCKETS).observe(3)
+    registry.sample(now=1.0, run=0)
+    path = str(tmp_path / "m.jsonl")
+    lines = registry.export_jsonl(path)
+    records = read_jsonl(path)
+    assert len(records) == lines == 5  # 2 samples + counter + gauge + histogram
+    by_type = {}
+    for record in records:
+        by_type.setdefault(record["type"], []).append(record)
+    assert by_type["counter"][0] == {"type": "counter", "name": "c", "value": 2}
+    assert by_type["gauge"][0] == {"type": "gauge", "name": "g", "value": 1.5}
+    hist = by_type["histogram"][0]
+    assert hist["count"] == 1 and hist["min"] == 3 and hist["max"] == 3
+    assert len(by_type["sample"]) == 2

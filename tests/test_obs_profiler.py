@@ -1,0 +1,68 @@
+"""Tests for the engine event hook and profiler."""
+
+from repro.obs.profiler import EngineProfiler
+from repro.sim.engine import Simulator
+
+
+def test_event_hook_receives_fired_events():
+    sim = Simulator()
+    seen = []
+    sim.set_event_hook(lambda event, wall_s, depth: seen.append(
+        (event.time, wall_s >= 0.0, depth)))
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert [(t, ok) for t, ok, _ in seen] == [(1.0, True), (2.0, True)]
+    sim.set_event_hook(None)
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    assert len(seen) == 2  # cleared hook sees nothing
+
+
+def test_profiler_accounts_per_callback():
+    sim = Simulator()
+    profiler = EngineProfiler()
+    profiler.attach(sim)
+
+    def work():
+        pass
+
+    for delay in (1.0, 2.0, 3.0):
+        sim.schedule(delay, work)
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    profiler.detach(sim)
+    assert profiler.events_fired == 4
+    by_name = profiler.callbacks
+    work_stats = by_name[work.__qualname__]
+    assert work_stats.count == 3
+    assert work_stats.total_s >= 0.0
+    assert work_stats.max_s >= 0.0
+    assert profiler.heap_depth_max >= 1
+
+
+def test_hot_callbacks_and_report_rows():
+    profiler = EngineProfiler()
+
+    class FakeEvent:
+        def __init__(self, callback):
+            self.callback = callback
+
+    def slow():
+        pass
+
+    def fast():
+        pass
+
+    profiler.on_event_fired(FakeEvent(slow), 0.5, 10)
+    profiler.on_event_fired(FakeEvent(fast), 0.1, 4)
+    ranked = profiler.hot_callbacks()
+    assert [s.name for s in ranked] == [slow.__qualname__, fast.__qualname__]
+    rows = profiler.report_rows(top=1)
+    assert rows[0][0] == slow.__qualname__
+    assert rows[0][1] == 1
+    summary = profiler.summary()
+    assert summary["events_fired"] == 2
+    assert summary["distinct_callbacks"] == 2
+    assert summary["heap_depth_max"] == 10
+    assert summary["heap_depth_mean"] == 7.0

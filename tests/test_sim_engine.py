@@ -138,6 +138,42 @@ def test_peek_skips_cancelled():
     assert sim.peek() == 2.0
 
 
+def test_peek_discard_keeps_foreground_accounting():
+    # Regression: peek() used to pop cancelled *foreground* events
+    # without decrementing the foreground-pending count, so a later
+    # un-horizoned run() believed real work remained and kept firing
+    # daemon housekeeping forever.
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    assert sim.peek() is None  # discards the cancelled event
+
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) < 50:  # cap the fallout if the accounting is wrong
+            sim.schedule(1.0, tick, daemon=True)
+
+    sim.schedule(1.0, tick, daemon=True)
+    sim.run()  # no horizon + only daemon work left -> must stop at once
+    assert ticks == []
+    assert sim.now == 0.0
+
+
+def test_peek_discard_then_new_work_still_runs():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None).cancel()
+    assert sim.peek() is None
+    fired = []
+    sim.schedule(3.0, fired.append, "x")
+    assert sim.peek() == 3.0
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 3.0
+
+
 def test_pending_counts_live_events():
     sim = Simulator()
     event = sim.schedule(1.0, lambda: None)
