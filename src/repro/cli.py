@@ -9,6 +9,7 @@ Installed as ``scotch-repro`` (or run via ``python -m repro.cli``)::
     scotch-repro fig 13 --quick       # smaller/faster variant
     scotch-repro ablation             # Scotch vs the §4 baselines
     scotch-repro tcam                 # the §3.3 TCAM-bottleneck scenario
+    scotch-repro chaos --seed 3       # fault injection + recovery report
     scotch-repro report -o REPORT.md  # every figure + ablation, one file
 
 Every run command also takes the observability flags (docs/observability.md)::
@@ -163,6 +164,7 @@ def cmd_list(_args) -> int:
     rows.append(["tcam", "the §3.3 TCAM-bottleneck scenario"])
     rows.append(["report", "run everything, write one markdown report"])
     rows.append(["demo", "quickstart flood demo"])
+    rows.append(["chaos", "fault-injection run with recovery report (docs/robustness.md)"])
     rows.append(["profiles", "calibrated switch models"])
     _print(format_table(["target", "description"], rows, title="Available runs"))
     return 0
@@ -236,6 +238,31 @@ def cmd_ablation(args) -> int:
 def cmd_tcam(args) -> int:
     _print(tcam_text(args.quick))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the chaos scenario (docs/robustness.md) and print the
+    fault/recovery report."""
+    from repro.faults import default_plan, format_report, run_chaos
+
+    if args.duration < 16.0:
+        print("chaos needs --duration >= 16 (the default fault timeline "
+              "ends at 12.5s and the report wants a clean recovery window)",
+              file=sys.stderr)
+        return 2
+    report = run_chaos(
+        seed=args.seed,
+        duration=args.duration,
+        client_rate=args.client_rate,
+        attack_rate=args.attack_rate,
+        plan=default_plan(args.duration),
+    )
+    _print(format_report(report))
+    if args.fault_log:
+        with open(args.fault_log, "w") as handle:
+            handle.write(report.fault_log_jsonl + "\n")
+        print(f"fault log: {len(report.fault_log)} actions -> {args.fault_log}")
+    return 0 if report.healthy else 1
 
 
 def cmd_inspect(args) -> int:
@@ -421,6 +448,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="REPORT.md")
     _add_obs_flags(report)
     report.set_defaults(func=cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection run + recovery report")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--duration", type=float, default=18.0,
+                       help="simulated seconds (>= 16)")
+    chaos.add_argument("--client-rate", type=float, default=100.0,
+                       help="legitimate new flows per second")
+    chaos.add_argument("--attack-rate", type=float, default=2000.0,
+                       help="spoofed flood rate keeping the overlay active")
+    chaos.add_argument("--fault-log", metavar="FILE",
+                       help="write the deterministic fault log (JSONL); "
+                            "byte-identical across runs with equal seeds")
+    _add_obs_flags(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     inspect = sub.add_parser(
         "inspect", help="summarize a JSONL trace (stage p50/p99, routes)")

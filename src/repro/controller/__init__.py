@@ -13,6 +13,7 @@ from repro.controller.base_app import BaseApp
 from repro.controller.controller import DatapathHandle, OpenFlowController
 from repro.controller.flow_info_db import FlowInfo, FlowInfoDatabase
 from repro.controller.reactive_app import ReactiveForwardingApp
+from repro.controller.reliability import ReliableSender
 from repro.controller.routing import Router
 from repro.controller.stats_service import StatsPoller
 
@@ -23,6 +24,7 @@ __all__ = [
     "FlowInfoDatabase",
     "OpenFlowController",
     "ReactiveForwardingApp",
+    "ReliableSender",
     "Router",
     "StatsPoller",
 ]

@@ -32,15 +32,24 @@ class StatsPoller:
         self.table_id = table_id
         self.polls_sent = 0
         self._running = False
+        # Held so stop() can cancel the pending tick; otherwise a
+        # stop()/start() cycle doubles the tick chain (same bug and fix
+        # as the heartbeat and congestion monitors).
+        self._tick_event = None
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self.controller.sim.schedule(self.interval, self._tick, daemon=True)
+        self._tick_event = self.controller.sim.schedule(
+            self.interval, self._tick, daemon=True
+        )
 
     def stop(self) -> None:
         self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
 
     def _tick(self) -> None:
         if not self._running:
@@ -49,4 +58,6 @@ class StatsPoller:
             if dpid in self.controller.datapaths:
                 self.controller.request_flow_stats(dpid, table_id=self.table_id)
                 self.polls_sent += 1
-        self.controller.sim.schedule(self.interval, self._tick, daemon=True)
+        self._tick_event = self.controller.sim.schedule(
+            self.interval, self._tick, daemon=True
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.controller.base_app import BaseApp
+from repro.controller.reliability import ReliableSender
 from repro.controller.flow_info_db import (
     ROUTE_DROPPED,
     ROUTE_OVERLAY,
@@ -43,7 +44,7 @@ from repro.core.flow_manager import (
 from repro.core.migration import OVERLAY_COOKIE, ElephantMigrator
 from repro.core.monitor import CongestionMonitor
 from repro.obs import path as obs_path
-from repro.core.overlay import ScotchOverlay
+from repro.core.overlay import OverlayError, ScotchOverlay
 from repro.core.policy import PolicyRegistry
 from repro.core.withdrawal import WithdrawalManager
 from repro.openflow.messages import FlowMod
@@ -79,6 +80,7 @@ class ScotchApp(BaseApp):
         self.withdrawal: Optional[WithdrawalManager] = None
         self.heartbeat: Optional[HeartbeatMonitor] = None
         self.stats_poller: Optional[StatsPoller] = None
+        self.reliable: Optional[ReliableSender] = None
         self.groups_installed: Set[str] = set()
         # Counters.
         self.duplicate_packet_ins = 0
@@ -87,6 +89,8 @@ class ScotchApp(BaseApp):
         self.activations = 0
         self.flows_retired = 0
         self.tcam_diversions = 0
+        self.resyncs = 0
+        self.degraded_activations = 0
         #: Per-switch deque of predicted rule-expiry times — the
         #: controller's own install history, used to estimate flow-table
         #: occupancy (§3.3 TCAM mitigation) without probing by failure.
@@ -126,8 +130,11 @@ class ScotchApp(BaseApp):
         self.withdrawal = WithdrawalManager(
             self.sim, self.overlay, self.flow_db, self.schedulers, self.config
         )
+        if self.config.reliable_installs:
+            self.reliable = ReliableSender(self.sim, self.controller, self.config)
         self.heartbeat = HeartbeatMonitor(
-            self.sim, self.controller, self.overlay, self.config, self.groups_installed
+            self.sim, self.controller, self.overlay, self.config,
+            self.groups_installed, reliable=self.reliable,
         )
         self.stats_poller = StatsPoller(
             self.controller,
@@ -498,11 +505,25 @@ class ScotchApp(BaseApp):
     def _send_activation(self, dpid: str, resends: int) -> None:
         if dpid not in self.overlay.active:
             return  # withdrawn in the meantime
-        group, mods = self.overlay.activation_messages(dpid)
-        handle = self.controller.datapaths[dpid]
-        handle.send(group)
-        for mod in mods:
-            handle.send(mod)
+        try:
+            group, mods = self.overlay.activation_messages(dpid)
+        except OverlayError:
+            # Every candidate vSwitch is (believed) dead — e.g. a resync
+            # racing the first post-outage echo round.  Degrade: keep the
+            # switch's existing rules; the recovery-driven group refresh
+            # re-establishes state once echoes resume.
+            self.degraded_activations += 1
+            return
+        if self.reliable is not None:
+            # Barrier-acked, keyed: a re-send (or a failover-era refresh)
+            # supersedes a still-retrying older batch, so the switch
+            # converges on the newest rule set under channel faults.
+            self.reliable.send(dpid, [group] + mods, key=("activation", dpid))
+        else:
+            handle = self.controller.datapaths[dpid]
+            handle.send(group)
+            for mod in mods:
+                handle.send(mod)
         if resends > 0:
             self.sim.schedule(
                 self.config.activation_resend_gap, self._send_activation, dpid, resends - 1
@@ -542,3 +563,35 @@ class ScotchApp(BaseApp):
 
     def echo_reply(self, dpid: str, message: "EchoReply") -> None:
         self.heartbeat.echo_reply(dpid, message)
+
+    def barrier_reply(self, dpid: str, message) -> None:
+        if self.reliable is not None:
+            self.reliable.barrier_reply(dpid, message)
+
+    # ------------------------------------------------------------------
+    # Self-healing (docs/robustness.md)
+    # ------------------------------------------------------------------
+    def resync(self) -> None:
+        """Re-establish controller-owned switch state after an outage —
+        what a standby controller does on takeover (its replicated view
+        of the overlay is this process's own state).  Restarts liveness
+        tracking from a clean slate (stale miss counts from echoes the
+        standby never sent must not declare vSwitches dead) and re-pushes
+        the idempotent overlay rule sets."""
+        self.resyncs += 1
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            tracer.instant("controller.resync", track="failover")
+        if self.heartbeat is not None:
+            self.heartbeat.stop()
+            self.heartbeat.start()
+        for dpid in sorted(self.groups_installed):
+            if dpid not in self.controller.datapaths:
+                continue
+            if dpid in self.overlay.active:
+                self._send_activation(dpid, resends=0)
+            else:
+                # Withdrawn switches keep their group (see overlay
+                # withdrawal_messages); refresh its buckets in case the
+                # bucket set moved while the controller was dark.
+                self.heartbeat._refresh_groups([dpid])

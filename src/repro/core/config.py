@@ -104,6 +104,20 @@ class ScotchConfig:
     #: Declare a vSwitch dead after this many missed heartbeats.
     heartbeat_miss_limit: int = 3
 
+    # -- reliable installs (docs/robustness.md) ------------------------------
+    #: Send critical control state (activation rule sets, failover group
+    #: refreshes) Barrier-acknowledged with timeout + retries, so it
+    #: survives control-channel loss, flaps and vSwitch restarts.
+    reliable_installs: bool = True
+    #: Initial barrier-acknowledgement timeout, seconds (doubles per
+    #: attempt — capped exponential backoff).
+    reliable_install_timeout: float = 0.3
+    #: Ceiling on the per-attempt timeout, seconds.
+    reliable_install_timeout_cap: float = 2.0
+    #: Re-send budget per batch; beyond this the batch is abandoned (and
+    #: counted — the invariant checker asserts the counter stays sane).
+    reliable_install_max_retries: int = 5
+
     #: Re-send the activation rule set this many times (the activation
     #: FlowMods themselves cross the congested OFA; re-sends are
     #: idempotent and make activation robust to its insertion loss).
@@ -120,3 +134,9 @@ class ScotchConfig:
             raise ValueError("need at least one vSwitch per switch")
         if self.tunnel_kind not in ("mpls", "gre"):
             raise ValueError(f"unknown tunnel kind {self.tunnel_kind!r}")
+        if self.reliable_install_timeout <= 0:
+            raise ValueError("reliable_install_timeout must be positive")
+        if self.reliable_install_timeout_cap < self.reliable_install_timeout:
+            raise ValueError("reliable_install_timeout_cap must be >= the timeout")
+        if self.reliable_install_max_retries < 0:
+            raise ValueError("reliable_install_max_retries must be non-negative")

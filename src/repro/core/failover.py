@@ -8,6 +8,13 @@ select group contained a bucket to it gets a GroupMod that swaps in a
 backup vSwitch.  Flows that hashed to the dead vSwitch re-appear at the
 backup as new flows (table miss -> Packet-In), exactly as the paper
 describes.  A recovered vSwitch (echo replies resume) rejoins.
+
+Robustness (docs/robustness.md): group refreshes can ride the
+controller's reliable-install layer (Barrier-acked with retries) so a
+bucket swap survives a lossy or flapping control channel, and when every
+candidate vSwitch for a switch is dead the monitor *degrades* — it skips
+the refresh and leaves the previous buckets in place rather than pushing
+a group with no live targets — instead of crashing the tick.
 """
 
 from __future__ import annotations
@@ -15,12 +22,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from repro.core.config import ScotchConfig
-from repro.core.overlay import ScotchOverlay
+from repro.core.overlay import OverlayError, ScotchOverlay
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import OpenFlowController
+    from repro.controller.reliability import ReliableSender
     from repro.openflow.messages import EchoReply
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Event, Simulator
 
 
 class HeartbeatMonitor:
@@ -34,6 +42,7 @@ class HeartbeatMonitor:
         config: ScotchConfig,
         groups_installed: Set[str],
         on_failover: Optional[Callable[[str], None]] = None,
+        reliable: Optional["ReliableSender"] = None,
     ):
         self.sim = sim
         self.controller = controller
@@ -43,10 +52,20 @@ class HeartbeatMonitor:
         #: activation time); only these receive bucket refreshes.
         self.groups_installed = groups_installed
         self.on_failover = on_failover
+        #: When set, group refreshes go through the Barrier-acked
+        #: reliable-install layer (keyed, so a newer refresh for the same
+        #: switch supersedes a still-retrying older one).
+        self.reliable = reliable
         self._pending: Dict[str, int] = {}
         self.failures_detected = 0
         self.recoveries_detected = 0
+        #: Refreshes skipped because no live vSwitch serves the switch
+        #: (backups exhausted) — the degraded mode of §5.6 failover.
+        self.degraded_refreshes = 0
         self._running = False
+        #: Handle of the next scheduled tick, cancelled by stop() so a
+        #: stop()/start() cycle cannot leave two tick chains running.
+        self._tick_event: Optional["Event"] = None
 
     def targets(self):
         return list(self.overlay.mesh) + list(self.overlay.backups)
@@ -55,10 +74,19 @@ class HeartbeatMonitor:
         if self._running:
             return
         self._running = True
-        self.sim.schedule(self.config.heartbeat_interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(
+            self.config.heartbeat_interval, self._tick, daemon=True
+        )
 
     def stop(self) -> None:
+        """Stop ticking and forget outstanding miss counts — a restarted
+        monitor (e.g. a standby controller taking over) must not declare
+        a vSwitch dead from echoes *it* never sent."""
         self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        self._pending.clear()
 
     def _tick(self) -> None:
         if not self._running:
@@ -71,7 +99,9 @@ class HeartbeatMonitor:
                 self._declare_dead(dpid)
             self._pending[dpid] = outstanding + 1
             self.controller.echo(dpid)
-        self.sim.schedule(self.config.heartbeat_interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(
+            self.config.heartbeat_interval, self._tick, daemon=True
+        )
 
     def echo_reply(self, dpid: str, message: "EchoReply") -> None:
         self._pending[dpid] = 0
@@ -81,11 +111,13 @@ class HeartbeatMonitor:
     # ------------------------------------------------------------------
     def _declare_dead(self, dpid: str) -> None:
         self.failures_detected += 1
+        self._instant("failover.dead", dpid)
         affected = self.overlay.mark_dead(dpid)
         self._refresh_groups(affected)
 
     def _declare_recovered(self, dpid: str) -> None:
         self.recoveries_detected += 1
+        self._instant("failover.recovered", dpid)
         self.overlay.mark_alive(dpid)
         affected = [
             s for s, serving in self.overlay.assignment.items() if dpid in serving
@@ -95,8 +127,26 @@ class HeartbeatMonitor:
     def _refresh_groups(self, switches) -> None:
         for switch_name in switches:
             if switch_name in self.groups_installed:
-                self.controller.datapaths[switch_name].send(
-                    self.overlay.refresh_group(switch_name)
-                )
+                try:
+                    group_mod = self.overlay.refresh_group(switch_name)
+                except OverlayError:
+                    # Backups exhausted: nothing alive to point a bucket
+                    # at.  Keep the previous buckets (stale but harmless
+                    # once nothing answers behind them) and note the
+                    # degradation; a later recovery refreshes normally.
+                    self.degraded_refreshes += 1
+                    self._instant("failover.degraded", switch_name)
+                    continue
+                if self.reliable is not None:
+                    self.reliable.send(
+                        switch_name, [group_mod], key=("group", switch_name)
+                    )
+                else:
+                    self.controller.datapaths[switch_name].send(group_mod)
             if self.on_failover is not None:
                 self.on_failover(switch_name)
+
+    def _instant(self, name: str, dpid: str) -> None:
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.instant(name, track="failover", switch=dpid)

@@ -18,7 +18,7 @@ from repro.core.config import ScotchConfig
 from repro.metrics.meters import RateEstimator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Event, Simulator
     from repro.switch.profiles import SwitchProfile
 
 
@@ -52,6 +52,10 @@ class CongestionMonitor:
         self.pressure_check = pressure_check
         self._switches: Dict[str, _SwitchState] = {}
         self._running = False
+        #: Handle of the next scheduled tick — held so stop() can cancel
+        #: it; a start() after stop() must not leave the old pending tick
+        #: alive (it would re-arm itself and double the tick chain).
+        self._tick_event: Optional["Event"] = None
         self._obs = sim.obs
 
     def watch(self, dpid: str, profile: "SwitchProfile") -> None:
@@ -116,10 +120,15 @@ class CongestionMonitor:
         if self._running:
             return
         self._running = True
-        self.sim.schedule(self.config.monitor_interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(
+            self.config.monitor_interval, self._tick, daemon=True
+        )
 
     def stop(self) -> None:
         self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
 
     def _tick(self) -> None:
         if not self._running:
@@ -154,4 +163,6 @@ class CongestionMonitor:
                         self.on_cleared(dpid)
                 else:
                     state.below_since = None
-        self.sim.schedule(self.config.monitor_interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(
+            self.config.monitor_interval, self._tick, daemon=True
+        )

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and self-healing verification.
+
+See docs/robustness.md.  Importing this package has no effect on a
+simulation — faults exist only when a :class:`FaultInjector` is built
+and started, and an uninjected run is bit-identical to one where this
+package was never imported.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, Violation, grace_window
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.scenario import (
+    ChaosReport,
+    chaos_config,
+    default_plan,
+    format_report,
+    run_chaos,
+)
+
+__all__ = [
+    "ChaosReport",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "Violation",
+    "chaos_config",
+    "default_plan",
+    "format_report",
+    "grace_window",
+    "run_chaos",
+]

@@ -1,0 +1,202 @@
+"""The canonical chaos scenario: faults + traffic + invariants, one run.
+
+Shared by the ``scotch-repro chaos`` CLI command, the chaos soak tests
+and the recovery benchmark so they all measure the same thing: a
+Scotch-protected deployment under client load and a flood (keeping the
+overlay active), with every fault class from docs/robustness.md injected
+on a fixed timeline, the invariant checker watching throughout, and the
+§3.2 client flow failure fraction evaluated both across the fault window
+and in a clean post-recovery window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import ScotchConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, Violation, grace_window
+from repro.faults.plan import FaultPlan
+
+#: Phase margin between the last fault clearing and the start of the
+#: post-recovery measurement window (covers heartbeat detection plus one
+#: reliable-install retry round at the chaos config below).
+RECOVERY_MARGIN = 1.5
+
+
+def chaos_config() -> ScotchConfig:
+    """The robustness-experiment config: fast failure detection and a
+    tight retry budget, so a short simulation exercises full
+    detect->refresh->recover cycles several times over."""
+    return ScotchConfig(
+        heartbeat_interval=0.25,
+        heartbeat_miss_limit=2,
+        reliable_install_timeout=0.2,
+        reliable_install_timeout_cap=1.0,
+        reliable_install_max_retries=3,
+    )
+
+
+def default_plan(duration: float = 18.0) -> FaultPlan:
+    """One of each fault class, spread over the run (times assume the
+    overlay activates by ~2 s, which the flood guarantees)."""
+    if duration < 16.0:
+        raise ValueError("the default plan needs at least 16 s of run time")
+    plan = FaultPlan()
+    plan.channel_loss(3.0, "edge", duration=2.5, loss=0.08,
+                      duplicate=0.02, jitter=0.5e-3, direction="both")
+    plan.ofa_stall(4.0, "mv1_0", duration=1.0)
+    plan.vswitch_crash(6.5, "mv0_0", down_for=2.5)
+    plan.channel_flap(9.5, "edge", period=0.2, flaps=3)
+    plan.controller_outage(11.5, duration=1.0)
+    return plan
+
+
+@dataclass
+class ChaosReport:
+    """Everything the CLI/soak/benchmark consumers assert or print."""
+
+    seed: int
+    duration: float
+    faults_injected: int
+    fault_counts: Dict[str, int]
+    fault_log: List[Dict[str, object]]
+    fault_log_jsonl: str
+    violations: List[Violation]
+    invariant_checks: int
+    grace: float
+    failure_during_faults: float
+    failure_post_recovery: float
+    flows_started: int
+    failures_detected: int
+    recoveries_detected: int
+    degraded_refreshes: int
+    resyncs: int
+    reliable: Dict[str, int] = field(default_factory=dict)
+    channel_drops: int = 0
+    channel_duplicates: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not self.violations and self.failure_post_recovery < 0.05
+
+
+def run_chaos(
+    seed: int = 1,
+    duration: float = 18.0,
+    client_rate: float = 100.0,
+    attack_rate: float = 2000.0,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ScotchConfig] = None,
+    invariant_interval: float = 0.5,
+) -> ChaosReport:
+    """Run the chaos scenario and return its report."""
+    from repro.metrics.failure import client_flow_failure_fraction
+    from repro.testbed.deployment import build_deployment
+    from repro.traffic import NewFlowSource, SpoofedFlood
+
+    config = config or chaos_config()
+    plan = plan if plan is not None else default_plan(duration)
+    dep = build_deployment(seed=seed, racks=2, servers_per_rack=2,
+                           mesh_per_rack=1, backups=1, config=config)
+    server_ip = dep.servers[0].ip
+
+    traffic_stop = duration - 1.0
+    NewFlowSource(dep.sim, dep.client, server_ip, rate_fps=client_rate).start(
+        at=0.5, stop_at=traffic_stop)
+    # The flood keeps the edge congested, hence the overlay active, so
+    # every fault hits a control plane that is actually doing work.
+    SpoofedFlood(dep.sim, dep.attacker, server_ip, rate_fps=attack_rate).start(
+        at=1.0, stop_at=traffic_stop)
+
+    injector = FaultInjector(dep.sim, dep.network, dep.controller, plan)
+    injector.start()
+    checker = InvariantChecker(dep.sim, dep.network, dep.overlay,
+                               scotch=dep.scotch, interval=invariant_interval)
+    checker.start()
+
+    dep.sim.run(until=duration)
+    checker.check_now()
+
+    fault_start = min((e.time for e in plan), default=0.0)
+    fault_end = plan.end_time()
+    post_start = min(fault_end + RECOVERY_MARGIN, traffic_stop)
+    failure_during = client_flow_failure_fraction(
+        dep.client.sent_tap, dep.servers[0].recv_tap,
+        start=fault_start, end=fault_end)
+    failure_post = client_flow_failure_fraction(
+        dep.client.sent_tap, dep.servers[0].recv_tap,
+        start=post_start, end=traffic_stop)
+
+    reliable = dep.scotch.reliable
+    heartbeat = dep.scotch.heartbeat
+    channels = [h.channel for h in dep.controller.datapaths.values()]
+    return ChaosReport(
+        seed=seed,
+        duration=duration,
+        faults_injected=injector.injected,
+        fault_counts=dict(injector.counts),
+        fault_log=list(injector.log),
+        fault_log_jsonl=injector.log_jsonl(),
+        violations=list(checker.violations),
+        invariant_checks=checker.checks_run,
+        grace=checker.grace,
+        failure_during_faults=failure_during,
+        failure_post_recovery=failure_post,
+        flows_started=len(dep.client.sent_tap.records),
+        failures_detected=heartbeat.failures_detected,
+        recoveries_detected=heartbeat.recoveries_detected,
+        degraded_refreshes=heartbeat.degraded_refreshes,
+        resyncs=dep.scotch.resyncs,
+        reliable={
+            "sent": reliable.sent if reliable else 0,
+            "acked": reliable.acked if reliable else 0,
+            "retries": reliable.retries if reliable else 0,
+            "abandoned": reliable.abandoned if reliable else 0,
+            "superseded": reliable.superseded if reliable else 0,
+        },
+        channel_drops=sum(c.to_switch_dropped + c.to_controller_dropped
+                          for c in channels),
+        channel_duplicates=sum(c.to_switch_duplicated + c.to_controller_duplicated
+                               for c in channels),
+    )
+
+
+def format_report(report: ChaosReport) -> str:
+    """A human-readable fault/recovery report (used by the CLI)."""
+    from repro.testbed.report import format_table
+
+    fault_rows = [[kind, count] for kind, count in sorted(report.fault_counts.items())]
+    sections = [
+        format_table(
+            ["fault class", "injected"], fault_rows,
+            title=f"Chaos run — seed {report.seed}, {report.duration:.0f}s, "
+                  f"{report.faults_injected} fault actions"),
+        format_table(
+            ["measure", "value"],
+            [
+                ["client failure (fault window)", f"{report.failure_during_faults:.4f}"],
+                ["client failure (post-recovery)", f"{report.failure_post_recovery:.4f}"],
+                ["vSwitch failures detected", report.failures_detected],
+                ["vSwitch recoveries detected", report.recoveries_detected],
+                ["degraded group refreshes", report.degraded_refreshes],
+                ["controller resyncs", report.resyncs],
+                ["reliable installs sent/acked", f"{report.reliable['sent']}/{report.reliable['acked']}"],
+                ["reliable retries / abandoned", f"{report.reliable['retries']}/{report.reliable['abandoned']}"],
+                ["channel msgs dropped/duplicated", f"{report.channel_drops}/{report.channel_duplicates}"],
+                ["invariant checks / violations", f"{report.invariant_checks}/{len(report.violations)}"],
+                ["recovery grace window (s)", f"{report.grace:.2f}"],
+            ],
+            title="Recovery report"),
+    ]
+    if report.violations:
+        sections.append(format_table(
+            ["t (s)", "invariant", "detail"],
+            [[f"{v.time:.2f}", v.name, v.detail] for v in report.violations[:20]],
+            title="Invariant violations"))
+    verdict = "HEALTHY" if report.healthy else "DEGRADED"
+    sections.append(f"verdict: {verdict} (post-recovery failure "
+                    f"{report.failure_post_recovery:.2%}, "
+                    f"{len(report.violations)} violations)")
+    return "\n\n".join(sections)

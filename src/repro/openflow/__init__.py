@@ -1,6 +1,6 @@
 """OpenFlow protocol messages and the switch<->controller channel."""
 
-from repro.openflow.channel import ControlChannel
+from repro.openflow.channel import ControlChannel, LinkImpairments
 from repro.openflow.messages import (
     ADD,
     DELETE,
@@ -30,6 +30,7 @@ __all__ = [
     "FlowStatsReply",
     "FlowStatsRequest",
     "GroupMod",
+    "LinkImpairments",
     "PacketIn",
     "PacketOut",
 ]

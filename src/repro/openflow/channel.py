@@ -1,11 +1,28 @@
 """The switch<->controller control channel.
 
 Models the secure TCP connection over the management port: a fixed
-one-way latency in each direction and loss-free in-order delivery.  The
-paper's measurements attribute the control-path bottleneck entirely to
-the OFA CPU (§3.3) — the 1 Gb/s management port never saturates at
-hundreds of messages/second — so the channel itself is not rate limited;
-all rate limiting lives in :class:`repro.switch.ofa.OpenFlowAgent`.
+one-way latency in each direction and (by default) loss-free in-order
+delivery.  The paper's measurements attribute the control-path
+bottleneck entirely to the OFA CPU (§3.3) — the 1 Gb/s management port
+never saturates at hundreds of messages/second — so the channel itself
+is not rate limited; all rate limiting lives in
+:class:`repro.switch.ofa.OpenFlowAgent`.
+
+For robustness experiments (docs/robustness.md) each direction can be
+impaired independently with message loss, duplication and latency
+jitter via :meth:`ControlChannel.set_impairments`.  Two properties the
+chaos layer relies on:
+
+* **Delivery-time checks.**  Connectivity and loss are evaluated when a
+  message would *arrive*, not when it was sent, so traffic in flight
+  when :meth:`disconnect` fires dies with the link — matching what a
+  severed TCP connection does to unacked segments.
+* **Determinism.**  Impairment draws come from the channel's own
+  :class:`~repro.sim.rng.RngRegistry` substream
+  (``channel:<datapath_id>``), created only when impairments are first
+  configured.  An unimpaired channel performs no random draws, so runs
+  without fault injection are bit-identical to runs where the faults
+  machinery was never imported.
 """
 
 from __future__ import annotations
@@ -16,6 +33,33 @@ from repro.openflow.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+
+class LinkImpairments:
+    """Per-direction degradation of a control channel.
+
+    ``loss`` and ``duplicate`` are probabilities in [0, 1); ``jitter``
+    is the maximum extra one-way latency in seconds (uniformly drawn
+    per message, so ordering across messages is no longer guaranteed —
+    exactly the reordering a jittery path produces).
+    """
+
+    __slots__ = ("loss", "duplicate", "jitter")
+
+    def __init__(self, loss: float = 0.0, duplicate: float = 0.0, jitter: float = 0.0):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if not 0.0 <= duplicate < 1.0:
+            raise ValueError("duplicate must be in [0, 1)")
+        if jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        self.loss = loss
+        self.duplicate = duplicate
+        self.jitter = jitter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LinkImpairments(loss={self.loss}, duplicate={self.duplicate}, "
+                f"jitter={self.jitter})")
 
 
 class ControlChannel:
@@ -39,24 +83,108 @@ class ControlChannel:
         self.switch_sink: Optional[Callable[[Message], None]] = None
         self.to_controller_count = 0
         self.to_switch_count = 0
+        # -- chaos-layer state (inert unless configured) ----------------
+        self.impair_to_switch: Optional[LinkImpairments] = None
+        self.impair_to_controller: Optional[LinkImpairments] = None
+        self.to_switch_dropped = 0
+        self.to_controller_dropped = 0
+        self.to_switch_duplicated = 0
+        self.to_controller_duplicated = 0
+        self.disconnects = 0
+        self._rng = None  # created lazily on first impairment
 
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
     def send_to_controller(self, message: Message) -> None:
         """Deliver a switch-originated message after one-way latency."""
         if not self.connected or self.controller_sink is None:
             return
         self.to_controller_count += 1
-        self.sim.schedule(self.latency, self.controller_sink, self.datapath_id, message)
+        self._transmit(message, self.impair_to_controller,
+                       self._deliver_to_controller, "to_controller")
 
     def send_to_switch(self, message: Message) -> None:
         """Deliver a controller-originated message after one-way latency."""
         if not self.connected or self.switch_sink is None:
             return
         self.to_switch_count += 1
-        self.sim.schedule(self.latency, self.switch_sink, message)
+        self._transmit(message, self.impair_to_switch,
+                       self._deliver_to_switch, "to_switch")
 
+    def _transmit(
+        self,
+        message: Message,
+        impairments: Optional[LinkImpairments],
+        deliver: Callable[[Message], None],
+        direction: str,
+    ) -> None:
+        delay = self.latency
+        if impairments is not None:
+            if impairments.jitter:
+                delay += self._rng.uniform(0.0, impairments.jitter)
+            if impairments.duplicate and self._rng.random() < impairments.duplicate:
+                if direction == "to_switch":
+                    self.to_switch_duplicated += 1
+                else:
+                    self.to_controller_duplicated += 1
+                extra = (self._rng.uniform(0.0, impairments.jitter)
+                         if impairments.jitter else 0.0)
+                self.sim.schedule(self.latency + extra, deliver, message)
+        self.sim.schedule(delay, deliver, message)
+
+    # ------------------------------------------------------------------
+    # Delivery (fires one latency later; connectivity and loss are
+    # evaluated *here*, so in-flight messages die with the link)
+    # ------------------------------------------------------------------
+    def _deliver_to_switch(self, message: Message) -> None:
+        if not self.connected or self.switch_sink is None:
+            return
+        impairments = self.impair_to_switch
+        if (impairments is not None and impairments.loss
+                and self._rng.random() < impairments.loss):
+            self.to_switch_dropped += 1
+            self._note_drop("to_switch")
+            return
+        self.switch_sink(message)
+
+    def _deliver_to_controller(self, message: Message) -> None:
+        if not self.connected or self.controller_sink is None:
+            return
+        impairments = self.impair_to_controller
+        if (impairments is not None and impairments.loss
+                and self._rng.random() < impairments.loss):
+            self.to_controller_dropped += 1
+            self._note_drop("to_controller")
+            return
+        self.controller_sink(self.datapath_id, message)
+
+    def _note_drop(self, direction: str) -> None:
+        metrics = self.sim.obs.metrics
+        if metrics.enabled:
+            metrics.counter(f"channel.{self.datapath_id}.{direction}_dropped").inc()
+
+    # ------------------------------------------------------------------
+    # Link state / impairment configuration
+    # ------------------------------------------------------------------
     def disconnect(self) -> None:
-        """Sever the channel (used to simulate vSwitch failure, §5.6)."""
+        """Sever the channel (vSwitch failure §5.6, chaos flaps and
+        partitions).  Messages already in flight are dropped at their
+        delivery time."""
+        if self.connected:
+            self.disconnects += 1
         self.connected = False
 
     def reconnect(self) -> None:
         self.connected = True
+
+    def set_impairments(
+        self,
+        to_switch: Optional[LinkImpairments] = None,
+        to_controller: Optional[LinkImpairments] = None,
+    ) -> None:
+        """Install (or, with None, clear) per-direction impairments."""
+        self.impair_to_switch = to_switch
+        self.impair_to_controller = to_controller
+        if (to_switch is not None or to_controller is not None) and self._rng is None:
+            self._rng = self.sim.rng.stream(f"channel:{self.datapath_id}")

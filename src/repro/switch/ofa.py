@@ -102,6 +102,11 @@ class OpenFlowAgent:
         self.installs_succeeded = 0
         self.installs_failed = 0
         self.table_full_failures = 0
+        #: Chaos-layer stall (docs/robustness.md): while ``sim.now`` is
+        #: before this, inbound control messages are deferred — a wedged
+        #: OFA CPU stops answering echoes without dropping the channel.
+        self._stalled_until = 0.0
+        self.stall_deferred = 0
 
         self._obs = sim.obs
         metrics = sim.obs.metrics
@@ -156,8 +161,22 @@ class OpenFlowAgent:
     # ------------------------------------------------------------------
     # Controller -> switch
     # ------------------------------------------------------------------
+    def stall(self, duration: float) -> None:
+        """Freeze inbound control processing for ``duration`` seconds
+        (fault injection: a busy/wedged OFA CPU).  Deferred messages are
+        processed, in arrival order, when the stall lifts."""
+        if duration < 0:
+            raise ValueError("stall duration must be non-negative")
+        self._stalled_until = max(self._stalled_until, self.sim.now + duration)
+
     def handle_from_controller(self, message: Message) -> None:
         if not self.switch.alive:
+            return
+        if self._stalled_until > self.sim.now:
+            self.stall_deferred += 1
+            self.sim.schedule(
+                self._stalled_until - self.sim.now, self.handle_from_controller, message
+            )
             return
         if isinstance(message, FlowMod):
             self._handle_flow_mod(message)

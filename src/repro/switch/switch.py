@@ -135,6 +135,27 @@ class OpenFlowSwitch(Node):
         self.alive = True
         self.channel.reconnect()
 
+    def restart(self) -> None:
+        """Bring a crashed switch back with its dynamic flow state gone.
+
+        Everything the controller installed reactively (per-flow rules,
+        timed rules, cookied rules) is wiped — a restarted process has an
+        empty flow table, so those flows re-appear as table misses and
+        get re-installed idempotently.  The offline static configuration
+        (tunnel label-switching and delivery rules, §5.6) survives, as
+        OVSDB-persisted state does across an ovs-vswitchd restart.
+        """
+        for table in self.datapath.tables:
+            table.remove_where(
+                lambda e: e.notify_removal
+                or e.idle_timeout > 0
+                or e.hard_timeout > 0
+                or e.cookie is not None
+            )
+        if self.ofa is not None:
+            self.ofa._stalled_until = 0.0
+        self.recover()
+
     def expire_rules(self) -> None:
         """Sweep timed-out entries from every table (called periodically
         by scenarios that rely on idle timeouts)."""

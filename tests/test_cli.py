@@ -131,3 +131,26 @@ def test_report_command_writes_markdown(tmp_path):
         assert f"## Figure {number}" in text
     assert "## Ablation — baselines" in text
     assert "## Ablation — TCAM bottleneck" in text
+
+
+def test_chaos_rejects_short_durations(capsys):
+    assert main(["chaos", "--duration", "10"]) == 2
+    err = capsys.readouterr().err
+    assert "duration" in err
+
+
+def test_chaos_listed(capsys):
+    assert main(["list"]) == 0
+    assert "chaos" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_chaos_command_full_run(capsys, tmp_path):
+    log_path = tmp_path / "faults.jsonl"
+    assert main(["chaos", "--seed", "1", "--fault-log", str(log_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Chaos run" in out and "Recovery report" in out
+    assert "verdict: HEALTHY" in out
+    lines = log_path.read_text().strip().splitlines()
+    assert len(lines) > 5

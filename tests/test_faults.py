@@ -1,0 +1,229 @@
+"""Unit tests for the fault-injection harness (plan + injector)."""
+
+import json
+
+import pytest
+
+from repro.controller.base_app import BaseApp
+from repro.controller.controller import OpenFlowController
+from repro.faults import FaultPlan, FaultInjector
+from repro.faults.plan import FaultEvent
+from repro.net.topology import Network
+from repro.openflow.messages import ADD, FlowMod
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.switch.actions import Output
+from repro.switch.match import Match
+from repro.switch.switch import VSwitch
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "meteor_strike", "sw")
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "vswitch_crash", "sw")
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "vswitch_crash", "sw", duration=-0.5)
+
+
+def test_builder_validation():
+    plan = FaultPlan()
+    with pytest.raises(ValueError):
+        plan.channel_loss(1.0, "sw", 1.0, direction="sideways")
+    with pytest.raises(ValueError):
+        plan.channel_flap(1.0, "sw", period=0.0)
+    with pytest.raises(ValueError):
+        plan.channel_flap(1.0, "sw", flaps=0)
+    with pytest.raises(ValueError):
+        plan.partition(1.0, [], 1.0)
+    with pytest.raises(ValueError):
+        plan.ofa_stall(1.0, "sw", duration=0.0)
+    with pytest.raises(ValueError):
+        plan.controller_outage(1.0, duration=0.0)
+    assert len(plan) == 0  # nothing slipped in
+
+
+def test_plan_keeps_events_sorted_and_reports_span():
+    plan = (FaultPlan()
+            .vswitch_crash(5.0, "b", down_for=2.0)
+            .ofa_stall(1.0, "a", 1.5)
+            .channel_flap(3.0, "a", period=0.5, flaps=2))
+    times = [e.time for e in plan.events()]
+    assert times == sorted(times) == [1.0, 3.0, 5.0]
+    # channel_flap duration is 2 * period * flaps = 2.0, so the last
+    # clearing fault is the crash restart at 5.0 + 2.0.
+    assert plan.end_time() == pytest.approx(7.0)
+    assert plan.kinds() == ("channel_flap", "ofa_stall", "vswitch_crash")
+
+
+def test_randomized_plan_is_seed_deterministic():
+    def make(seed):
+        return FaultPlan.randomized(
+            RngRegistry(seed), duration=20.0,
+            channel_targets=["a", "b", "c"], vswitch_targets=["a", "b"],
+            intensity=2.0,
+        )
+
+    assert make(7).events() == make(7).events()
+    assert make(7).events() != make(8).events()
+    plan = make(7)
+    assert len(plan) == 8  # 4 * intensity
+    assert all(e.time >= 1.0 for e in plan)
+
+
+def test_randomized_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan.randomized(RngRegistry(1), duration=0.5,
+                             channel_targets=["a"], vswitch_targets=["a"])
+    with pytest.raises(ValueError):
+        FaultPlan.randomized(RngRegistry(1), duration=10.0,
+                             channel_targets=[], vswitch_targets=["a"])
+
+
+# ----------------------------------------------------------------------
+# FaultInjector — minimal two-switch rig
+# ----------------------------------------------------------------------
+class _ResyncApp(BaseApp):
+    def __init__(self):
+        super().__init__()
+        self.resyncs = 0
+
+    def resync(self):
+        self.resyncs += 1
+
+
+def _rig():
+    sim = Simulator(seed=3)
+    network = Network(sim)
+    sw_a = network.add(VSwitch(sim, "a"))
+    sw_b = network.add(VSwitch(sim, "b"))
+    controller = OpenFlowController(sim, network)
+    controller.register_switch(sw_a)
+    controller.register_switch(sw_b)
+    app = controller.add_app(_ResyncApp())
+    return sim, network, controller, sw_a, sw_b, app
+
+
+def _flow_mod():
+    return FlowMod(match=Match(dst_ip="10.0.0.1"), priority=50,
+                   actions=[Output(1)], command=ADD)
+
+
+def test_double_start_raises():
+    sim, network, controller, *_ = _rig()
+    injector = FaultInjector(sim, network, controller, FaultPlan())
+    injector.start()
+    with pytest.raises(RuntimeError):
+        injector.start()
+
+
+def test_crash_and_restart_wipes_dynamic_but_keeps_static_rules():
+    sim, network, controller, sw_a, _, _ = _rig()
+    sw_a.install_static(Match(dst_ip="10.9.9.9"), priority=10, actions=[Output(1)])
+    sw_a.ofa.handle_from_controller(_flow_mod())
+    plan = FaultPlan().vswitch_crash(1.0, "a", down_for=0.5)
+    FaultInjector(sim, network, controller, plan).start()
+    sim.run(until=0.5)
+    assert len(sw_a.datapath.table(0)) == 2
+    sim.run(until=1.2)
+    assert not sw_a.alive and not sw_a.channel.connected
+    sim.run(until=2.0)
+    assert sw_a.alive and sw_a.channel.connected
+    remaining = sw_a.datapath.table(0).entries()
+    assert len(remaining) == 1  # dynamic rule wiped, static survived
+    assert remaining[0].match.fields["dst_ip"] == "10.9.9.9"
+
+
+def test_ofa_stall_defers_processing_until_the_stall_lifts():
+    sim, network, controller, sw_a, _, _ = _rig()
+    plan = FaultPlan().ofa_stall(1.0, "a", 1.0)
+    FaultInjector(sim, network, controller, plan).start()
+    sim.schedule(1.2, sw_a.ofa.handle_from_controller, _flow_mod())
+    sim.run(until=1.5)
+    assert sw_a.ofa.stall_deferred == 1
+    assert len(sw_a.datapath.table(0)) == 0
+    sim.run(until=2.5)
+    assert len(sw_a.datapath.table(0)) == 1
+
+
+def test_partition_disconnects_targets_then_heals():
+    sim, network, controller, sw_a, sw_b, _ = _rig()
+    plan = FaultPlan().partition(1.0, ["a", "b"], duration=1.0)
+    FaultInjector(sim, network, controller, plan).start()
+    sim.run(until=1.5)
+    assert not sw_a.channel.connected and not sw_b.channel.connected
+    sim.run(until=2.5)
+    assert sw_a.channel.connected and sw_b.channel.connected
+
+
+def test_flap_cycles_the_channel_the_scripted_number_of_times():
+    sim, network, controller, sw_a, _, _ = _rig()
+    plan = FaultPlan().channel_flap(1.0, "a", period=0.2, flaps=3)
+    injector = FaultInjector(sim, network, controller, plan)
+    injector.start()
+    sim.run(until=5.0)
+    assert sw_a.channel.disconnects == 3
+    assert sw_a.channel.connected
+    phases = [e["phase"] for e in injector.log if e["kind"] == "channel_flap"]
+    assert phases == ["inject", "down", "up", "down", "up", "down", "up"]
+
+
+def test_flap_up_does_not_resurrect_a_dead_switch():
+    sim, network, controller, sw_a, _, _ = _rig()
+    plan = FaultPlan().channel_flap(1.0, "a", period=0.2, flaps=1)
+    FaultInjector(sim, network, controller, plan).start()
+    sim.schedule(1.1, sw_a.fail)  # dies while the channel is down
+    sim.run(until=3.0)
+    assert not sw_a.channel.connected  # flap-up skipped the corpse
+
+
+def test_channel_loss_installs_then_clears_impairments():
+    sim, network, controller, sw_a, _, _ = _rig()
+    plan = FaultPlan().channel_loss(1.0, "a", 1.0, loss=0.3,
+                                    direction="to_switch")
+    FaultInjector(sim, network, controller, plan).start()
+    sim.run(until=1.5)
+    assert sw_a.channel.impair_to_switch is not None
+    assert sw_a.channel.impair_to_switch.loss == 0.3
+    assert sw_a.channel.impair_to_controller is None  # directional
+    sim.run(until=2.5)
+    assert sw_a.channel.impair_to_switch is None
+
+
+def test_controller_outage_severs_everything_then_resyncs_apps():
+    sim, network, controller, sw_a, sw_b, app = _rig()
+    plan = FaultPlan().controller_outage(1.0, duration=1.0)
+    FaultInjector(sim, network, controller, plan).start()
+    sim.schedule(1.5, sw_b.fail)  # dies mid-outage; must stay offline
+    sim.run(until=1.4)
+    assert not sw_a.channel.connected and not sw_b.channel.connected
+    sim.run(until=3.0)
+    assert sw_a.channel.connected
+    assert not sw_b.channel.connected
+    assert app.resyncs == 1
+
+
+def test_log_structure_and_jsonl_round_trip():
+    sim, network, controller, sw_a, _, _ = _rig()
+    plan = (FaultPlan()
+            .vswitch_crash(1.0, "a", down_for=0.5)
+            .ofa_stall(2.0, "a", 0.5))
+    injector = FaultInjector(sim, network, controller, plan)
+    injector.start()
+    sim.run(until=4.0)
+    assert injector.injected == 2
+    assert injector.counts == {"vswitch_crash": 1, "ofa_stall": 1}
+    for entry in injector.log:
+        assert list(entry)[:4] == ["t", "kind", "target", "phase"]
+    lines = injector.log_jsonl().splitlines()
+    assert [json.loads(line) for line in lines] == injector.log
+
+
+def test_unknown_target_is_rejected():
+    sim, network, controller, *_ = _rig()
+    injector = FaultInjector(sim, network, controller, FaultPlan())
+    with pytest.raises(KeyError):
+        injector._switch("ghost")

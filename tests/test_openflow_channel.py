@@ -79,3 +79,137 @@ def test_xids_unique_and_increasing():
     a, b = EchoRequest(), EchoRequest()
     assert b.xid > a.xid
     assert next_xid() > b.xid
+
+
+# ----------------------------------------------------------------------
+# Robustness: delivery-time disconnect semantics and link impairments
+# (docs/robustness.md)
+# ----------------------------------------------------------------------
+def test_in_flight_messages_die_with_the_link():
+    """A message sent before disconnect() must not arrive after it: the
+    connectivity check happens at delivery time, like TCP teardown
+    discarding unacked segments."""
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw", latency=0.1)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.controller_sink = lambda d, m: seen.append(m)
+    channel.send_to_switch(FlowMod())
+    channel.send_to_controller(EchoRequest())
+    sim.schedule(0.05, channel.disconnect)  # while both are in flight
+    sim.run()
+    assert seen == []
+
+
+def test_in_flight_message_survives_if_link_stays_up():
+    sim = Simulator()
+    channel = ControlChannel(sim, "sw", latency=0.1)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.send_to_switch(FlowMod())
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_impairment_validation():
+    from repro.openflow.channel import LinkImpairments
+
+    with pytest.raises(ValueError):
+        LinkImpairments(loss=1.0)
+    with pytest.raises(ValueError):
+        LinkImpairments(loss=-0.1)
+    with pytest.raises(ValueError):
+        LinkImpairments(duplicate=1.5)
+    with pytest.raises(ValueError):
+        LinkImpairments(jitter=-1e-3)
+    LinkImpairments(loss=0.5, duplicate=0.5, jitter=0.001)  # valid
+
+
+def test_loss_drops_some_messages_and_counts_them():
+    from repro.openflow.channel import LinkImpairments
+
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw", latency=0.001)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.set_impairments(to_switch=LinkImpairments(loss=0.5))
+    for _ in range(200):
+        channel.send_to_switch(FlowMod())
+    sim.run()
+    assert channel.to_switch_dropped > 0
+    assert len(seen) + channel.to_switch_dropped == 200
+    assert 40 < channel.to_switch_dropped < 160  # ~Binomial(200, .5)
+
+
+def test_loss_is_directional():
+    from repro.openflow.channel import LinkImpairments
+
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw", latency=0.001)
+    to_switch, to_controller = [], []
+    channel.switch_sink = to_switch.append
+    channel.controller_sink = lambda d, m: to_controller.append(m)
+    channel.set_impairments(to_switch=LinkImpairments(loss=0.9))
+    for _ in range(50):
+        channel.send_to_switch(FlowMod())
+        channel.send_to_controller(EchoRequest())
+    sim.run()
+    assert len(to_controller) == 50  # unimpaired direction untouched
+    assert len(to_switch) < 50
+
+
+def test_duplication_delivers_extra_copies():
+    from repro.openflow.channel import LinkImpairments
+
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw", latency=0.001)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.set_impairments(to_switch=LinkImpairments(duplicate=0.5))
+    for _ in range(100):
+        channel.send_to_switch(FlowMod())
+    sim.run()
+    assert channel.to_switch_duplicated > 0
+    assert len(seen) == 100 + channel.to_switch_duplicated
+
+
+def test_jitter_delays_but_never_hastens():
+    from repro.openflow.channel import LinkImpairments
+
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw", latency=0.01)
+    times = []
+    channel.switch_sink = lambda m: times.append(sim.now)
+    channel.set_impairments(to_switch=LinkImpairments(jitter=0.05))
+    for _ in range(50):
+        channel.send_to_switch(FlowMod())
+    sim.run()
+    assert all(0.01 <= t <= 0.01 + 0.05 for t in times)
+    assert len(set(times)) > 1  # actually jittered
+
+
+def test_clearing_impairments_restores_lossless_delivery():
+    from repro.openflow.channel import LinkImpairments
+
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw", latency=0.001)
+    seen = []
+    channel.switch_sink = seen.append
+    channel.set_impairments(to_switch=LinkImpairments(loss=0.9))
+    channel.set_impairments(None, None)
+    for _ in range(50):
+        channel.send_to_switch(FlowMod())
+    sim.run()
+    assert len(seen) == 50
+
+
+def test_unimpaired_channel_draws_no_randomness():
+    """Bit-identity guarantee: a channel never given impairments must not
+    create its RNG stream at all."""
+    sim = Simulator(seed=5)
+    channel = ControlChannel(sim, "sw")
+    channel.switch_sink = lambda m: None
+    for _ in range(10):
+        channel.send_to_switch(FlowMod())
+    sim.run()
+    assert channel._rng is None
