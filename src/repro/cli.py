@@ -165,6 +165,7 @@ def cmd_list(_args) -> int:
     rows.append(["report", "run everything, write one markdown report"])
     rows.append(["demo", "quickstart flood demo"])
     rows.append(["chaos", "fault-injection run with recovery report (docs/robustness.md)"])
+    rows.append(["health", "chaos-verified alert detection scorecard (docs/observability.md)"])
     rows.append(["profiles", "calibrated switch models"])
     _print(format_table(["target", "description"], rows, title="Available runs"))
     return 0
@@ -240,9 +241,47 @@ def cmd_tcam(args) -> int:
     return 0
 
 
+def _load_rules(path: Optional[str]):
+    """Parse an alert-rule file (docs/observability.md#alert-rules);
+    None means the built-in rule set."""
+    if not path:
+        return None
+    from repro.obs.rules import parse_rules
+
+    with open(path) as handle:
+        return parse_rules(handle.read())
+
+
+def _write_health_outputs(args, report) -> None:
+    """Shared by `chaos` and `health`: the optional alert-timeline JSONL
+    and HTML report files."""
+    if getattr(args, "alert_log", None):
+        with open(args.alert_log, "w") as handle:
+            text = report.alert_timeline_jsonl
+            handle.write(text + "\n" if text else text)
+        print(f"alert timeline: {len(report.alert_timeline)} transitions "
+              f"-> {args.alert_log}")
+    if getattr(args, "health_report", None):
+        from repro.obs.scorecard import render_html_report
+
+        render_html_report(
+            args.health_report, report.sli_series, report.alert_timeline,
+            run_end=report.duration, truth=report.truth,
+            scorecard=report.scorecard,
+            title=f"Scotch health — seed {report.seed}")
+        print(f"health report -> {args.health_report}")
+    if getattr(args, "scorecard_json", None) and report.scorecard is not None:
+        from repro.obs.scorecard import scorecard_json
+
+        with open(args.scorecard_json, "w") as handle:
+            handle.write(scorecard_json(report.scorecard) + "\n")
+        print(f"scorecard -> {args.scorecard_json}")
+
+
 def cmd_chaos(args) -> int:
     """Run the chaos scenario (docs/robustness.md) and print the
-    fault/recovery report."""
+    fault/recovery report (with the health engine's detection scorecard
+    unless --no-health)."""
     from repro.faults import default_plan, format_report, run_chaos
 
     if args.duration < 16.0:
@@ -250,33 +289,116 @@ def cmd_chaos(args) -> int:
               "ends at 12.5s and the report wants a clean recovery window)",
               file=sys.stderr)
         return 2
+    if args.no_health and (args.alert_log or args.health_report
+                           or args.scorecard_json or args.rules):
+        print("--alert-log/--health-report/--scorecard-json/--rules need "
+              "the health engine (drop --no-health)", file=sys.stderr)
+        return 2
+    try:
+        rules = _load_rules(args.rules)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load alert rules: {exc}", file=sys.stderr)
+        return 2
     report = run_chaos(
         seed=args.seed,
         duration=args.duration,
         client_rate=args.client_rate,
         attack_rate=args.attack_rate,
         plan=default_plan(args.duration),
+        health=not args.no_health,
+        rules=rules,
     )
     _print(format_report(report))
     if args.fault_log:
         with open(args.fault_log, "w") as handle:
             handle.write(report.fault_log_jsonl + "\n")
         print(f"fault log: {len(report.fault_log)} actions -> {args.fault_log}")
+    _write_health_outputs(args, report)
     return 0 if report.healthy else 1
 
 
+def cmd_health(args) -> int:
+    """Chaos-verified detection: run the chaos scenario with the health
+    engine streaming SLIs/alerts, print the ASCII health report and the
+    scorecard joining alerts against injected ground truth.  Exit 0 iff
+    every fault class was detected with no false positives (with
+    --no-faults: iff there were no false positives at all)."""
+    from repro.faults import FaultPlan, default_plan, run_chaos
+    from repro.obs.scorecard import format_health_report, format_scorecard
+
+    if args.duration < 16.0:
+        print("health needs --duration >= 16 (it runs the chaos scenario; "
+              "the default fault timeline ends at 12.5s)", file=sys.stderr)
+        return 2
+    try:
+        rules = _load_rules(args.rules)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load alert rules: {exc}", file=sys.stderr)
+        return 2
+    plan = FaultPlan() if args.no_faults else default_plan(args.duration)
+    report = run_chaos(
+        seed=args.seed,
+        duration=args.duration,
+        client_rate=args.client_rate,
+        attack_rate=args.attack_rate,
+        plan=plan,
+        health=True,
+        rules=rules,
+        detection_tolerance=args.tolerance,
+    )
+    _print(format_health_report(report.sli_series, report.alert_timeline,
+                                run_end=report.duration, truth=report.truth))
+    _print(format_scorecard(report.scorecard))
+    _write_health_outputs(args, report)
+    card = report.scorecard
+    ok = card.clean if args.no_faults else (card.all_detected and card.clean)
+    print(f"detection: recall {card.recall:.2f}  precision {card.precision:.2f}  "
+          f"false positives {len(card.false_positives)}  "
+          f"-> {'OK' if ok else 'MISSED' if not card.all_detected else 'NOISY'}")
+    return 0 if ok else 1
+
+
 def cmd_inspect(args) -> int:
-    """Summarize a JSONL trace: per-stage latency percentiles + routes."""
-    from repro.obs.inspect import stage_rows, summarize_trace
+    """Summarize a JSONL file: traces get per-stage latency percentiles
+    and routes, metrics files (auto-detected) get final instrument values
+    and histogram quantiles."""
+    from repro.obs.inspect import (
+        histogram_rows,
+        instrument_rows,
+        sniff_kind,
+        stage_rows,
+        summarize_metrics,
+        summarize_trace,
+    )
 
     try:
-        summary = summarize_trace(args.trace)
+        kind = sniff_kind(args.trace)
+        summary = (summarize_metrics if kind == "metrics"
+                   else summarize_trace)(args.trace)
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
-    except ValueError as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         print(f"not a JSONL trace file: {args.trace} ({exc})", file=sys.stderr)
         return 2
+    if kind == "metrics":
+        _print(format_table(
+            ["instrument", "kind", "value"],
+            instrument_rows(summary),
+            title=f"Metrics summary — {args.trace}",
+        ))
+        if summary["histograms"]:
+            _print(format_table(
+                ["histogram", "count", "mean", "p50", "p99", "min", "max"],
+                histogram_rows(summary),
+                title="Histograms",
+            ))
+        span = summary["sample_span"]
+        span_text = ("-" if span is None
+                     else f"{span[0]:.2f}s .. {span[1]:.2f}s")
+        print(f"records: {summary['records']}  samples: {summary['samples']} "
+              f"({summary['sampled_names']} instruments, {span_text})")
+        return 0
     _print(format_table(
         ["stage", "count", "mean (ms)", "p50 (ms)", "p99 (ms)", "max (ms)"],
         stage_rows(summary),
@@ -315,6 +437,21 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _add_health_output_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("health engine")
+    group.add_argument("--rules", metavar="FILE",
+                       help="alert-rule file (docs/observability.md"
+                            "#alert-rules); default: built-in rules")
+    group.add_argument("--alert-log", metavar="FILE",
+                       help="write the deterministic alert timeline (JSONL); "
+                            "byte-identical across runs with equal seeds")
+    group.add_argument("--health-report", metavar="FILE",
+                       help="write a self-contained HTML health report "
+                            "(SLI time series with alert/truth bands)")
+    group.add_argument("--scorecard-json", metavar="FILE",
+                       help="write the detection scorecard as JSON")
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(obs_capable=True)
     group = parser.add_argument_group("observability")
@@ -325,6 +462,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--metrics", metavar="FILE",
         help="record counters/gauges/histograms to FILE (JSONL)")
+    group.add_argument(
+        "--prom", metavar="FILE",
+        help="also write final instrument states to FILE in the "
+             "Prometheus text exposition format (implies metrics "
+             "collection)")
     group.add_argument(
         "--sample-interval", type=float, default=None, metavar="SEC",
         help="with --metrics: also sample every gauge/counter each SEC "
@@ -350,6 +492,7 @@ def _wants_obs(args) -> bool:
     return getattr(args, "obs_capable", False) and bool(
         getattr(args, "trace", None)
         or getattr(args, "metrics", None)
+        or getattr(args, "prom", None)
         or getattr(args, "profile", False)
         or getattr(args, "manifest", None)
     )
@@ -363,7 +506,7 @@ def _run_observed(args, argv: Optional[List[str]]) -> int:
 
     obs = Observability(
         trace=bool(args.trace),
-        metrics=bool(args.metrics),
+        metrics=bool(args.metrics or args.prom),
         profile=args.profile,
         sample_interval=args.sample_interval,
     )
@@ -378,6 +521,9 @@ def _run_observed(args, argv: Optional[List[str]]) -> int:
     if args.metrics:
         lines = obs.metrics.export_jsonl(args.metrics)
         print(f"metrics: {lines} lines -> {args.metrics}")
+    if args.prom:
+        lines = obs.metrics.export_prometheus(args.prom)
+        print(f"prometheus: {lines} lines -> {args.prom}")
     if args.profile and obs.profiler is not None:
         print()
         _print(format_table(
@@ -461,12 +607,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault-log", metavar="FILE",
                        help="write the deterministic fault log (JSONL); "
                             "byte-identical across runs with equal seeds")
+    chaos.add_argument("--no-health", action="store_true",
+                       help="skip the streaming health engine and the "
+                            "detection scorecard")
+    _add_health_output_flags(chaos)
     _add_obs_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
+    health = sub.add_parser(
+        "health",
+        help="chaos-verified detection: SLI report + alert scorecard "
+             "(docs/observability.md#health)")
+    health.add_argument("--seed", type=int, default=1)
+    health.add_argument("--duration", type=float, default=18.0,
+                        help="simulated seconds (>= 16)")
+    health.add_argument("--client-rate", type=float, default=100.0)
+    health.add_argument("--attack-rate", type=float, default=2000.0)
+    health.add_argument("--no-faults", action="store_true",
+                        help="fault-free baseline: keep traffic and rules "
+                             "but inject nothing; exit 0 iff zero false "
+                             "positives")
+    health.add_argument("--tolerance", type=float, default=1.0,
+                        help="detection-latency tolerance (s) when joining "
+                             "alerts to truth windows")
+    _add_health_output_flags(health)
+    _add_obs_flags(health)
+    health.set_defaults(func=cmd_health)
+
     inspect = sub.add_parser(
-        "inspect", help="summarize a JSONL trace (stage p50/p99, routes)")
-    inspect.add_argument("trace", help="trace file written by --trace")
+        "inspect",
+        help="summarize a JSONL trace (stage p50/p99, routes) or metrics "
+             "file (instrument finals, histogram quantiles)")
+    inspect.add_argument("trace", help="file written by --trace or --metrics")
     inspect.set_defaults(func=cmd_inspect)
     return parser
 

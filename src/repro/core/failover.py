@@ -59,6 +59,11 @@ class HeartbeatMonitor:
         self._pending: Dict[str, int] = {}
         self.failures_detected = 0
         self.recoveries_detected = 0
+        #: Echo replies outstanding at tick time (one count per target
+        #: per tick while unanswered) — the health engine's
+        #: ``heartbeat.miss_rate`` SLI reads the matching counter.
+        self.misses = 0
+        self._m_misses = sim.obs.metrics.counter("heartbeat.misses")
         #: Refreshes skipped because no live vSwitch serves the switch
         #: (backups exhausted) — the degraded mode of §5.6 failover.
         self.degraded_refreshes = 0
@@ -95,6 +100,9 @@ class HeartbeatMonitor:
             if dpid not in self.controller.datapaths:
                 continue
             outstanding = self._pending.get(dpid, 0)
+            if outstanding >= 1:
+                self.misses += 1
+                self._m_misses.inc()
             if outstanding >= self.config.heartbeat_miss_limit and dpid not in self.overlay.dead:
                 self._declare_dead(dpid)
             self._pending[dpid] = outstanding + 1

@@ -16,6 +16,13 @@ from repro.faults.scenario import (
     format_report,
     run_chaos,
 )
+from repro.obs.scorecard import (
+    Scorecard,
+    TruthWindow,
+    build_scorecard,
+    format_scorecard,
+    truth_windows,
+)
 
 __all__ = [
     "ChaosReport",
@@ -23,10 +30,15 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InvariantChecker",
+    "Scorecard",
+    "TruthWindow",
     "Violation",
+    "build_scorecard",
     "chaos_config",
     "default_plan",
     "format_report",
+    "format_scorecard",
     "grace_window",
     "run_chaos",
+    "truth_windows",
 ]

@@ -11,13 +11,15 @@ and in a clean post-recovery window.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ScotchConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, Violation, grace_window
 from repro.faults.plan import FaultPlan
+from repro.obs.scorecard import FLASH_CROWD, Scorecard, TruthWindow
 
 #: Phase margin between the last fault clearing and the start of the
 #: post-recovery measurement window (covers heartbeat detection plus one
@@ -76,6 +78,13 @@ class ChaosReport:
     reliable: Dict[str, int] = field(default_factory=dict)
     channel_drops: int = 0
     channel_duplicates: int = 0
+    # -- health engine (docs/observability.md#health) -------------------
+    health_enabled: bool = False
+    alert_timeline: List[Dict[str, object]] = field(default_factory=list)
+    alert_timeline_jsonl: str = ""
+    sli_series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    truth: List[TruthWindow] = field(default_factory=list)
+    scorecard: Optional[Scorecard] = None
 
     @property
     def healthy(self) -> bool:
@@ -90,34 +99,71 @@ def run_chaos(
     plan: Optional[FaultPlan] = None,
     config: Optional[ScotchConfig] = None,
     invariant_interval: float = 0.5,
+    health: bool = False,
+    rules: Optional[Sequence] = None,
+    health_interval: float = 0.25,
+    detection_tolerance: float = 1.0,
 ) -> ChaosReport:
-    """Run the chaos scenario and return its report."""
+    """Run the chaos scenario and return its report.
+
+    With ``health=True`` a read-only :class:`~repro.obs.health.HealthEngine`
+    streams SLIs and alert rules during the run and the report gains the
+    alert timeline plus a detection scorecard joining it against the
+    injector's ground truth.  The engine never mutates model state, so
+    the fault log and the measured outcomes are identical either way
+    (``tests/test_health_scorecard.py`` locks this in).
+    """
     from repro.metrics.failure import client_flow_failure_fraction
+    from repro.obs import Observability, get_default_obs, observed
     from repro.testbed.deployment import build_deployment
     from repro.traffic import NewFlowSource, SpoofedFlood
 
     config = config or chaos_config()
     plan = plan if plan is not None else default_plan(duration)
-    dep = build_deployment(seed=seed, racks=2, servers_per_rack=2,
-                           mesh_per_rack=1, backups=1, config=config)
-    server_ip = dep.servers[0].ip
 
-    traffic_stop = duration - 1.0
-    NewFlowSource(dep.sim, dep.client, server_ip, rate_fps=client_rate).start(
-        at=0.5, stop_at=traffic_stop)
-    # The flood keeps the edge congested, hence the overlay active, so
-    # every fault hits a control plane that is actually doing work.
-    SpoofedFlood(dep.sim, dep.attacker, server_ip, rate_fps=attack_rate).start(
-        at=1.0, stop_at=traffic_stop)
+    # The health engine needs a live metrics registry.  Reuse the
+    # process-default one when metrics are already on (e.g. CLI
+    # --metrics); otherwise install a private metrics-only bundle for
+    # the duration of the run, keeping any active tracer/profiler.
+    outer = get_default_obs()
+    context = nullcontext()
+    if health and not outer.metrics.enabled:
+        private = Observability(trace=False, metrics=True)
+        if getattr(outer, "enabled", False):
+            private.tracer = outer.tracer
+            private.profiler = outer.profiler
+        context = observed(private)
 
-    injector = FaultInjector(dep.sim, dep.network, dep.controller, plan)
-    injector.start()
-    checker = InvariantChecker(dep.sim, dep.network, dep.overlay,
-                               scotch=dep.scotch, interval=invariant_interval)
-    checker.start()
+    with context:
+        dep = build_deployment(seed=seed, racks=2, servers_per_rack=2,
+                               mesh_per_rack=1, backups=1, config=config)
+        server_ip = dep.servers[0].ip
 
-    dep.sim.run(until=duration)
-    checker.check_now()
+        engine = None
+        if health:
+            from repro.obs.health import HealthEngine
+
+            engine = HealthEngine(dep.sim, get_default_obs().metrics,
+                                  rules=rules, interval=health_interval)
+            engine.start()
+
+        client_start, flood_start = 0.5, 1.0
+        traffic_stop = duration - 1.0
+        NewFlowSource(dep.sim, dep.client, server_ip, rate_fps=client_rate).start(
+            at=client_start, stop_at=traffic_stop)
+        # The flood keeps the edge congested, hence the overlay active, so
+        # every fault hits a control plane that is actually doing work.
+        SpoofedFlood(dep.sim, dep.attacker, server_ip, rate_fps=attack_rate).start(
+            at=flood_start, stop_at=traffic_stop)
+
+        injector = FaultInjector(dep.sim, dep.network, dep.controller, plan)
+        injector.start()
+        checker = InvariantChecker(dep.sim, dep.network, dep.overlay,
+                                   scotch=dep.scotch, interval=invariant_interval)
+        checker.start()
+
+        dep.sim.run(until=duration)
+        checker.check_now()
 
     fault_start = min((e.time for e in plan), default=0.0)
     fault_end = plan.end_time()
@@ -128,6 +174,32 @@ def run_chaos(
     failure_post = client_flow_failure_fraction(
         dep.client.sent_tap, dep.servers[0].recv_tap,
         start=post_start, end=traffic_stop)
+
+    health_fields: Dict[str, object] = {}
+    if engine is not None:
+        from repro.obs.scorecard import build_scorecard, truth_windows
+
+        engine.stop()
+        # The deliberate flood is ground truth for the flash-crowd rule:
+        # the fault-free baseline keeps the flood, so its OFA-overload
+        # firing is a true positive there too.
+        extra = ()
+        if attack_rate > 0:
+            extra = (TruthWindow(FLASH_CROWD, "edge", flood_start,
+                                 traffic_stop),)
+        truth = truth_windows(injector.log, run_end=duration, extra=extra)
+        card = build_scorecard(engine.rules, engine.timeline, truth,
+                               run_end=duration,
+                               tolerance=detection_tolerance)
+        health_fields = dict(
+            health_enabled=True,
+            alert_timeline=list(engine.timeline),
+            alert_timeline_jsonl=engine.timeline_jsonl(),
+            sli_series={name: list(points)
+                        for name, points in engine.series.items()},
+            truth=list(truth),
+            scorecard=card,
+        )
 
     reliable = dep.scotch.reliable
     heartbeat = dep.scotch.heartbeat
@@ -160,6 +232,7 @@ def run_chaos(
                           for c in channels),
         channel_duplicates=sum(c.to_switch_duplicated + c.to_controller_duplicated
                                for c in channels),
+        **health_fields,
     )
 
 
@@ -195,6 +268,13 @@ def format_report(report: ChaosReport) -> str:
             ["t (s)", "invariant", "detail"],
             [[f"{v.time:.2f}", v.name, v.detail] for v in report.violations[:20]],
             title="Invariant violations"))
+    if report.scorecard is not None:
+        from repro.obs.scorecard import format_scorecard
+
+        sections.append(format_scorecard(report.scorecard))
+        firings = sum(s.firings for s in report.scorecard.rules.values())
+        sections.append(f"alerts: {len(report.alert_timeline)} transitions, "
+                        f"{firings} firings")
     verdict = "HEALTHY" if report.healthy else "DEGRADED"
     sections.append(f"verdict: {verdict} (post-recovery failure "
                     f"{report.failure_post_recovery:.2%}, "

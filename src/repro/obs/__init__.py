@@ -32,8 +32,10 @@ from repro.obs.base import (
     get_default_obs,
     set_default_obs,
 )
+from repro.obs.health import HealthEngine, SliSpec, default_slis
 from repro.obs.metrics import MetricsRegistry, MetricsSampler
 from repro.obs.profiler import EngineProfiler
+from repro.obs.rules import AlertRule, builtin_rules, parse_rule, parse_rules
 from repro.obs.tracer import Tracer
 
 __all__ = [
@@ -44,6 +46,13 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSampler",
     "EngineProfiler",
+    "HealthEngine",
+    "SliSpec",
+    "default_slis",
+    "AlertRule",
+    "builtin_rules",
+    "parse_rule",
+    "parse_rules",
     "get_default_obs",
     "set_default_obs",
     "observed",

@@ -1,18 +1,28 @@
-"""Trace summarization — the engine behind ``scotch-repro inspect``.
+"""JSONL summarization — the engine behind ``scotch-repro inspect``.
 
 Reads a JSONL trace (:func:`repro.obs.tracer.read_jsonl` format) and
 reduces it to the numbers a human wants first: span counts and
 per-stage latency percentiles for the control path, route outcomes of
-the Packet-In journeys, and how many rode the overlay relay.
+the Packet-In journeys, and how many rode the overlay relay.  Metrics
+files (:meth:`repro.obs.metrics.MetricsRegistry.export_jsonl` format)
+get their own summary: counter/gauge finals, histogram quantiles and
+the sampled time-series extent.  :func:`sniff_kind` tells the two
+apart from the first record.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional
 
 from repro.metrics.stats import mean, percentile
+from repro.obs.metrics import bucket_quantile
+from repro.obs.metrics import read_jsonl as read_metrics_jsonl
 from repro.obs.path import SPAN_PACKET_IN
 from repro.obs.tracer import read_jsonl
+
+#: Record types written by MetricsRegistry.export_jsonl.
+METRIC_RECORD_TYPES = frozenset({"sample", "counter", "gauge", "histogram"})
 
 
 def _duration(record: Dict[str, Any]) -> Optional[float]:
@@ -81,4 +91,103 @@ def stage_rows(summary: Dict[str, Any]) -> List[List[Any]]:
          round(stats["p50_ms"], 4), round(stats["p99_ms"], 4),
          round(stats["max_ms"], 4)]
         for name, stats in summary["stages"].items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Metrics files
+# ----------------------------------------------------------------------
+def sniff_kind(path: str) -> str:
+    """Classify a JSONL file as ``"trace"`` or ``"metrics"`` from its
+    first non-blank record's ``type`` field (traces carry ``span`` /
+    ``instant``).  Empty files default to ``"trace"``."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                return "trace"
+            kind = record.get("type") if isinstance(record, dict) else None
+            return "metrics" if kind in METRIC_RECORD_TYPES else "trace"
+    return "trace"
+
+
+def summarize_metrics(path: str) -> Dict[str, Any]:
+    """Load + summarize a metrics JSONL export.
+
+    Returns::
+
+        {
+          "records": int, "samples": int,
+          "sample_span": [t0, t1] | None, "sampled_names": int,
+          "counters": {name: value}, "gauges": {name: value},
+          "histograms": {name: {"count", "mean", "p50", "p99",
+                                "min", "max"}},
+        }
+    """
+    records = read_metrics_jsonl(path)
+    samples = 0
+    t0: Optional[float] = None
+    t1: Optional[float] = None
+    sampled_names: set = set()
+    counters: Dict[str, Any] = {}
+    gauges: Dict[str, Any] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "sample":
+            samples += 1
+            t = record["t"]
+            t0 = t if t0 is None else min(t0, t)
+            t1 = t if t1 is None else max(t1, t)
+            sampled_names.add(record["name"])
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            count = record["count"]
+            histograms[record["name"]] = {
+                "count": count,
+                "mean": record["sum"] / count if count else 0.0,
+                "p50": bucket_quantile(record["buckets"], record["counts"],
+                                       0.5, lo=record["min"], hi=record["max"]),
+                "p99": bucket_quantile(record["buckets"], record["counts"],
+                                       0.99, lo=record["min"], hi=record["max"]),
+                "min": record["min"],
+                "max": record["max"],
+            }
+    return {
+        "records": len(records),
+        "samples": samples,
+        "sample_span": None if t0 is None else [t0, t1],
+        "sampled_names": len(sampled_names),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def instrument_rows(summary: Dict[str, Any]) -> List[List[Any]]:
+    """Tabulation rows for final counter/gauge values:
+    [instrument, kind, value]."""
+    rows = [[name, "counter", value]
+            for name, value in summary["counters"].items()]
+    rows += [[name, "gauge", round(float(value), 4)]
+             for name, value in summary["gauges"].items()]
+    return rows
+
+
+def histogram_rows(summary: Dict[str, Any]) -> List[List[Any]]:
+    """Tabulation rows: [histogram, count, mean, p50, p99, min, max]."""
+    def fmt(value: Optional[float]) -> Any:
+        return "-" if value is None else round(float(value), 6)
+
+    return [
+        [name, stats["count"], fmt(stats["mean"]), fmt(stats["p50"]),
+         fmt(stats["p99"]), fmt(stats["min"]), fmt(stats["max"])]
+        for name, stats in summary["histograms"].items()
     ]

@@ -97,18 +97,52 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket counts (upper bucket bound)."""
+        """Approximate quantile from bucket counts (upper bucket bound),
+        clamped to ``[min, max]``; ``q=0`` / ``q=1`` are exact."""
         if not self.count:
             return 0.0
-        target = q * self.count
-        seen = 0
-        for index, count in enumerate(self.counts):
-            seen += count
-            if seen >= target:
-                if index < len(self.buckets):
-                    return self.buckets[index]
-                return self.max if self.max is not None else self.buckets[-1]
-        return self.max if self.max is not None else self.buckets[-1]
+        return bucket_quantile(self.buckets, self.counts, q,
+                               lo=self.min, hi=self.max)
+
+
+def bucket_quantile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> float:
+    """Quantile of a bucketed distribution (upper bucket bound).
+
+    ``counts`` may carry the implicit +inf overflow bucket as its last
+    element (``len(counts) == len(buckets) + 1``).  When the observed
+    extremes are known, the result is clamped into ``[lo, hi]`` so a low
+    quantile cannot report a bucket bound below the smallest observation
+    (and ``q=0`` / ``q=1`` return them exactly).  Shared by
+    :meth:`Histogram.quantile`, the metrics-file inspector and the
+    health engine's windowed quantiles.
+    """
+    total = sum(counts)
+    if not total:
+        return 0.0
+    if q <= 0.0 and lo is not None:
+        return lo
+    if q >= 1.0 and hi is not None:
+        return hi
+    target = q * total
+    seen = 0
+    result = buckets[-1] if hi is None else hi
+    for index, count in enumerate(counts):
+        seen += count
+        if seen >= target:
+            if index < len(buckets):
+                result = buckets[index]
+            break
+    if lo is not None and result < lo:
+        result = lo
+    if hi is not None and result > hi:
+        result = hi
+    return result
 
 
 class MetricsRegistry:
@@ -187,6 +221,59 @@ class MetricsRegistry:
                 })
         return lines
 
+    def to_prometheus(self) -> str:
+        """Final instrument states in the Prometheus text exposition
+        format (one flat time series per instrument: dots become
+        underscores under a ``scotch_`` prefix, counters gain the
+        ``_total`` suffix, histograms emit cumulative ``le`` buckets)."""
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            metric = prometheus_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prometheus_value(self.counters[name].value)}")
+        for name in sorted(self.gauges):
+            metric = prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prometheus_value(self.gauges[name].read())}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            metric = prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.buckets, histogram.counts):
+                cumulative += count
+                lines.append(f'{metric}_bucket{{le="{_prometheus_value(bound)}"}} '
+                             f"{cumulative}")
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+            lines.append(f"{metric}_sum {_prometheus_value(histogram.sum)}")
+            lines.append(f"{metric}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_prometheus(self, path: str) -> int:
+        """Write :meth:`to_prometheus` to ``path``; returns line count."""
+        text = self.to_prometheus()
+        with open(path, "w") as handle:
+            handle.write(text)
+        return text.count("\n")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a registry name into a Prometheus metric name."""
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "scotch_" + sanitized
+
+
+def _prometheus_value(value: Any) -> str:
+    """Render a sample value: integral floats print as integers."""
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
 
 class MetricsSampler:
     """Daemon process snapshotting a registry on a sim-time tick.
@@ -206,22 +293,28 @@ class MetricsSampler:
         self.run = run
         self.ticks = 0
         self._running = False
+        #: Handle of the next scheduled tick, cancelled by stop() so a
+        #: stop()/start() cycle cannot leave two tick chains running.
+        self._tick_event: Optional[Any] = None
 
     def start(self) -> None:
         if self._running:
             return
         self._running = True
-        self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(self.interval, self._tick, daemon=True)
 
     def stop(self) -> None:
         self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
 
     def _tick(self) -> None:
         if not self._running:
             return
         self.registry.sample(self.sim.now, run=self.run)
         self.ticks += 1
-        self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._tick_event = self.sim.schedule(self.interval, self._tick, daemon=True)
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:

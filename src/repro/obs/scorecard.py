@@ -1,0 +1,464 @@
+"""Detection scorecard: alert timeline vs fault-injection ground truth.
+
+The :class:`~repro.faults.injector.FaultInjector` logs every action it
+takes; :func:`truth_windows` turns that log into per-fault ``[t0, t1]``
+ground-truth windows.  :func:`build_scorecard` joins them against the
+health engine's alert timeline and reports, per fault class, whether a
+rule *declaring* that class (its ``detects`` list) fired while the
+fault was active — detection latency, recall — and, per rule, how many
+firings matched any declared truth window (precision).
+
+A firing counts for a window when the two intervals overlap, allowing
+the firing to start up to ``tolerance`` seconds after the window ends
+(detection necessarily lags injection by the SLI window plus the rule's
+hold time).  The scorecard is pure data + pure functions over
+deterministic inputs, so it is as reproducible as the run itself.
+
+Also here: the end-of-run health report renderers — ASCII (SLI
+sparklines + alert bands, for terminals and tests) and a dependency-free
+single-file HTML report (inline SVG time series with alert/truth bands).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.rules import AlertRule
+
+#: The synthetic fault class covering deliberate flood traffic: the
+#: chaos scenario's flash crowd is ground truth for the OFA-overload
+#: rule even though the injector never "injects" it.
+FLASH_CROWD = "flash_crowd"
+
+
+@dataclass(frozen=True)
+class TruthWindow:
+    """One ground-truth fault activity interval."""
+
+    cls: str
+    target: str
+    t0: float
+    t1: float
+
+
+def truth_windows(
+    fault_log: Sequence[Dict[str, object]],
+    run_end: float,
+    extra: Sequence[TruthWindow] = (),
+) -> List[TruthWindow]:
+    """Ground-truth windows from a :class:`FaultInjector` log.
+
+    An ``inject`` entry opens a window; a ``clear`` entry for the same
+    (kind, target) closes it; flap ``up`` entries keep extending the
+    window so it ends at the last restore.  An inject that carries a
+    ``duration`` (``ofa_stall`` logs no clear) closes itself.  Anything
+    still open at the end of the run closes at ``run_end``.
+    """
+    windows: List[List[object]] = []  # [cls, target, t0, t1, closed]
+    open_index: Dict[Tuple[str, str], int] = {}
+    for entry in fault_log:
+        kind = str(entry["kind"])
+        target = str(entry.get("target") or "")
+        phase = entry.get("phase")
+        t = float(entry["t"])  # type: ignore[arg-type]
+        key = (kind, target)
+        if phase == "inject":
+            duration = entry.get("duration")
+            if duration is not None:
+                t1 = min(run_end, t + float(duration))  # type: ignore[arg-type]
+                windows.append([kind, target, t, t1, True])
+            else:
+                windows.append([kind, target, t, run_end, False])
+                open_index[key] = len(windows) - 1
+        elif phase in ("clear", "up"):
+            index = open_index.get(key)
+            if index is not None and not windows[index][4]:
+                windows[index][3] = max(float(windows[index][2]), t)
+                if phase == "clear":
+                    windows[index][4] = True
+                    del open_index[key]
+    out = [TruthWindow(str(w[0]), str(w[1]), float(w[2]), float(w[3]))
+           for w in windows]
+    out.extend(extra)
+    out.sort(key=lambda w: (w.t0, w.cls, w.target))
+    return out
+
+
+@dataclass
+class ClassScore:
+    """Detection outcome for one fault class."""
+
+    cls: str
+    injected: int = 0
+    detected: int = 0
+    latencies: List[float] = field(default_factory=list)
+    detected_by: List[str] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.injected if self.injected else 1.0
+
+
+@dataclass
+class RuleScore:
+    """Firing accounting for one alert rule."""
+
+    rule: str
+    firings: int = 0
+    true_positives: int = 0
+
+    @property
+    def false_positives(self) -> int:
+        return self.firings - self.true_positives
+
+    @property
+    def precision(self) -> float:
+        return self.true_positives / self.firings if self.firings else 1.0
+
+
+@dataclass
+class Scorecard:
+    """The joined detection report."""
+
+    classes: Dict[str, ClassScore]
+    rules: Dict[str, RuleScore]
+    false_positives: List[Tuple[str, float, float]]
+    tolerance: float
+
+    @property
+    def recall(self) -> float:
+        injected = sum(s.injected for s in self.classes.values())
+        if not injected:
+            return 1.0
+        return sum(s.detected for s in self.classes.values()) / injected
+
+    @property
+    def precision(self) -> float:
+        firings = sum(s.firings for s in self.rules.values())
+        if not firings:
+            return 1.0
+        return sum(s.true_positives for s in self.rules.values()) / firings
+
+    @property
+    def all_detected(self) -> bool:
+        return all(s.detected == s.injected for s in self.classes.values())
+
+    @property
+    def clean(self) -> bool:
+        return not self.false_positives
+
+
+def firings_from_timeline(
+    timeline: Sequence[Dict[str, object]], run_end: float,
+) -> List[Tuple[str, float, float]]:
+    """``(rule, t0, t1)`` firing intervals from timeline transitions;
+    still-open firings clamp to ``run_end``."""
+    out: List[Tuple[str, float, float]] = []
+    open_at: Dict[str, float] = {}
+    for record in timeline:
+        name = str(record["alert"])
+        state = record["state"]
+        t = float(record["t"])  # type: ignore[arg-type]
+        if state == "firing":
+            open_at[name] = t
+        elif state == "resolved":
+            t0 = open_at.pop(name, None)
+            if t0 is not None:
+                out.append((name, t0, t))
+    for name in sorted(open_at):
+        out.append((name, open_at[name], run_end))
+    out.sort(key=lambda item: (item[1], item[0]))
+    return out
+
+
+def _matches(firing: Tuple[str, float, float], window: TruthWindow,
+             tolerance: float) -> bool:
+    _, t0, t1 = firing
+    return t0 <= window.t1 + tolerance and t1 >= window.t0
+
+
+def build_scorecard(
+    rules: Sequence[AlertRule],
+    timeline: Sequence[Dict[str, object]],
+    truth: Sequence[TruthWindow],
+    run_end: float,
+    tolerance: float = 1.0,
+) -> Scorecard:
+    """Join the alert timeline against the ground-truth windows."""
+    firings = firings_from_timeline(timeline, run_end)
+    detects = {rule.name: frozenset(rule.detects) for rule in rules}
+
+    classes: Dict[str, ClassScore] = {}
+    for window in truth:
+        score = classes.setdefault(window.cls, ClassScore(cls=window.cls))
+        score.injected += 1
+        matched = [f for f in firings
+                   if window.cls in detects.get(f[0], frozenset())
+                   and _matches(f, window, tolerance)]
+        if matched:
+            score.detected += 1
+            first = min(matched, key=lambda f: f[1])
+            score.latencies.append(max(0.0, first[1] - window.t0))
+            for name in sorted({f[0] for f in matched}):
+                if name not in score.detected_by:
+                    score.detected_by.append(name)
+
+    rule_scores: Dict[str, RuleScore] = {
+        rule.name: RuleScore(rule=rule.name) for rule in rules}
+    false_positives: List[Tuple[str, float, float]] = []
+    for firing in firings:
+        score = rule_scores.setdefault(firing[0], RuleScore(rule=firing[0]))
+        score.firings += 1
+        declared = detects.get(firing[0], frozenset())
+        if any(w.cls in declared and _matches(firing, w, tolerance)
+               for w in truth):
+            score.true_positives += 1
+        else:
+            false_positives.append(firing)
+
+    return Scorecard(classes=classes, rules=rule_scores,
+                     false_positives=false_positives, tolerance=tolerance)
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering
+# ----------------------------------------------------------------------
+def format_scorecard(scorecard: Scorecard) -> str:
+    """The scorecard as ASCII tables (CLI / chaos report)."""
+    from repro.testbed.report import format_table
+
+    class_rows = []
+    for cls in sorted(scorecard.classes):
+        score = scorecard.classes[cls]
+        latency = (f"{sum(score.latencies) / len(score.latencies):.2f}"
+                   if score.latencies else "-")
+        class_rows.append([
+            cls, score.injected, score.detected, f"{score.recall:.2f}",
+            latency, ",".join(score.detected_by) or "-",
+        ])
+    rule_rows = []
+    for name in sorted(scorecard.rules):
+        score = scorecard.rules[name]
+        rule_rows.append([
+            name, score.firings, score.true_positives,
+            score.false_positives, f"{score.precision:.2f}",
+        ])
+    sections = [
+        format_table(
+            ["fault class", "injected", "detected", "recall",
+             "latency (s)", "detected by"],
+            class_rows, title="Detection scorecard — per fault class"),
+        format_table(
+            ["rule", "firings", "true pos", "false pos", "precision"],
+            rule_rows, title="Detection scorecard — per rule"),
+        (f"detection: recall {scorecard.recall:.2f}, precision "
+         f"{scorecard.precision:.2f}, {len(scorecard.false_positives)} "
+         f"false positives (match tolerance {scorecard.tolerance:.1f}s)"),
+    ]
+    return "\n\n".join(sections)
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def _sparkline(points: Sequence[Tuple[float, float]], t0: float, t1: float,
+               width: int) -> Tuple[str, float]:
+    """Downsample a time series to a character strip; returns (strip,
+    observed max)."""
+    cells = [[] for _ in range(width)]
+    top = 0.0
+    span = max(t1 - t0, 1e-9)
+    for t, value in points:
+        index = min(width - 1, max(0, int((t - t0) / span * width)))
+        cells[index].append(value)
+        top = max(top, value)
+    strip = []
+    for bucket in cells:
+        if not bucket:
+            strip.append(" ")
+            continue
+        peak = max(bucket)
+        level = 0 if top <= 0 else int(peak / top * (len(_SPARK) - 1))
+        strip.append(_SPARK[max(0, min(len(_SPARK) - 1, level))])
+    return "".join(strip), top
+
+
+def _band(intervals: Sequence[Tuple[float, float]], t0: float, t1: float,
+          width: int, mark: str = "#") -> str:
+    """Render activity intervals as a character band."""
+    strip = [" "] * width
+    span = max(t1 - t0, 1e-9)
+    for start, end in intervals:
+        lo = max(0, int((start - t0) / span * width))
+        hi = min(width, max(lo + 1, int((end - t0) / span * width) + 1))
+        for index in range(lo, hi):
+            strip[index] = mark
+    return "".join(strip)
+
+
+def format_health_report(
+    series: Dict[str, List[Tuple[float, float]]],
+    timeline: Sequence[Dict[str, object]],
+    run_end: float,
+    truth: Sequence[TruthWindow] = (),
+    width: int = 64,
+) -> str:
+    """ASCII health report: one sparkline per SLI, one alert band per
+    rule, one ground-truth band per fault class."""
+    t0 = 0.0
+    lines = [f"Health report — 0..{run_end:.1f}s, {width} columns "
+             f"(sparkline peak in brackets)"]
+    label_width = max([len(n) for n in series] or [0])
+    firings = firings_from_timeline(timeline, run_end)
+    rule_names = sorted({f[0] for f in firings})
+    for name in rule_names:
+        label_width = max(label_width, len(name) + 2)
+    for cls in sorted({w.cls for w in truth}):
+        label_width = max(label_width, len(cls) + 2)
+    for name, points in series.items():
+        strip, top = _sparkline(points, t0, run_end, width)
+        lines.append(f"{name:<{label_width}} |{strip}| [{top:g}]")
+    if rule_names:
+        lines.append("")
+        lines.append("alerts (#### = firing):")
+        for name in rule_names:
+            intervals = [(f[1], f[2]) for f in firings if f[0] == name]
+            lines.append(f"  {name:<{label_width - 2}} "
+                         f"|{_band(intervals, t0, run_end, width)}|")
+    if truth:
+        lines.append("")
+        lines.append("ground truth (==== = fault active):")
+        for cls in sorted({w.cls for w in truth}):
+            intervals = [(w.t0, w.t1) for w in truth if w.cls == cls]
+            lines.append(f"  {cls:<{label_width - 2}} "
+                         f"|{_band(intervals, t0, run_end, width, mark='=')}|")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+_HTML_HEAD = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Scotch health report</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 1.5rem; color: #222; }
+ h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+ .chart { margin: 0.6rem 0; }
+ .chart .name { font: 12px monospace; margin-bottom: 2px; }
+ svg { background: #fafafa; border: 1px solid #ddd; }
+ table { border-collapse: collapse; font-size: 0.85rem; }
+ th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
+ .legend { font-size: 0.8rem; color: #555; }
+</style></head><body>
+"""
+
+
+def _svg_series(points: Sequence[Tuple[float, float]], run_end: float,
+                firings: Sequence[Tuple[float, float]],
+                truth: Sequence[Tuple[float, float]],
+                width: int = 720, height: int = 60) -> str:
+    """One SLI chart: truth bands (amber), alert bands (red), polyline."""
+    top = max([v for _, v in points] or [0.0]) or 1.0
+    span = max(run_end, 1e-9)
+
+    def x(t: float) -> float:
+        return round(t / span * width, 2)
+
+    def y(v: float) -> float:
+        return round(height - (v / top) * (height - 4) - 2, 2)
+
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'viewBox="0 0 {width} {height}">']
+    for start, end in truth:
+        parts.append(f'<rect x="{x(start)}" y="0" '
+                     f'width="{max(1.0, x(end) - x(start))}" '
+                     f'height="{height}" fill="#f6c344" opacity="0.25"/>')
+    for start, end in firings:
+        parts.append(f'<rect x="{x(start)}" y="0" '
+                     f'width="{max(1.0, x(end) - x(start))}" '
+                     f'height="{height}" fill="#d33" opacity="0.30"/>')
+    if points:
+        coords = " ".join(f"{x(t)},{y(v)}" for t, v in points)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="#3366cc" stroke-width="1.2"/>')
+    parts.append(f'<text x="4" y="12" font-size="10" fill="#777">'
+                 f'max {top:g}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html_report(
+    path: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    timeline: Sequence[Dict[str, object]],
+    run_end: float,
+    truth: Sequence[TruthWindow] = (),
+    scorecard: Optional[Scorecard] = None,
+    title: str = "Scotch health report",
+) -> None:
+    """Write a self-contained HTML health report (inline SVG, no JS,
+    no external assets)."""
+    firings = firings_from_timeline(timeline, run_end)
+    truth_intervals = [(w.t0, w.t1) for w in truth]
+    out = [_HTML_HEAD, f"<h1>{title}</h1>",
+           f'<p class="legend">0&ndash;{run_end:.1f}s &middot; '
+           "amber bands: injected faults (ground truth) &middot; "
+           "red bands: firing alerts</p>"]
+    out.append("<h2>SLI time series</h2>")
+    for name, points in series.items():
+        rule_bands = [(f[1], f[2]) for f in firings]
+        out.append(f'<div class="chart"><div class="name">{name}</div>'
+                   + _svg_series(points, run_end, rule_bands, truth_intervals)
+                   + "</div>")
+    out.append("<h2>Alert timeline</h2>")
+    out.append("<table><tr><th>t (s)</th><th>alert</th><th>state</th>"
+               "<th>SLI</th><th>value</th><th>severity</th></tr>")
+    for record in timeline:
+        out.append(
+            "<tr>"
+            f"<td>{record['t']}</td><td>{record['alert']}</td>"
+            f"<td>{record['state']}</td><td>{record['sli']}</td>"
+            f"<td>{record['value']}</td><td>{record['severity']}</td>"
+            "</tr>")
+    out.append("</table>")
+    if scorecard is not None:
+        out.append("<h2>Detection scorecard</h2>")
+        out.append("<pre>" + format_scorecard(scorecard) + "</pre>")
+    out.append("</body></html>\n")
+    with open(path, "w") as handle:
+        handle.write("\n".join(out))
+
+
+def scorecard_json(scorecard: Scorecard) -> str:
+    """The scorecard as one deterministic JSON object (machine use)."""
+    payload = {
+        "tolerance": scorecard.tolerance,
+        "recall": round(scorecard.recall, 6),
+        "precision": round(scorecard.precision, 6),
+        "classes": {
+            cls: {
+                "injected": s.injected,
+                "detected": s.detected,
+                "recall": round(s.recall, 6),
+                "latencies": [round(l, 6) for l in s.latencies],
+                "detected_by": list(s.detected_by),
+            }
+            for cls, s in sorted(scorecard.classes.items())
+        },
+        "rules": {
+            name: {
+                "firings": s.firings,
+                "true_positives": s.true_positives,
+                "false_positives": s.false_positives,
+                "precision": round(s.precision, 6),
+            }
+            for name, s in sorted(scorecard.rules.items())
+        },
+        "false_positives": [
+            {"rule": f[0], "t0": f[1], "t1": f[2]}
+            for f in scorecard.false_positives
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -98,7 +98,10 @@ class ControlChannel:
     # ------------------------------------------------------------------
     def send_to_controller(self, message: Message) -> None:
         """Deliver a switch-originated message after one-way latency."""
-        if not self.connected or self.controller_sink is None:
+        if not self.connected:
+            self._note_dead("to_controller")
+            return
+        if self.controller_sink is None:
             return
         self.to_controller_count += 1
         self._transmit(message, self.impair_to_controller,
@@ -106,7 +109,10 @@ class ControlChannel:
 
     def send_to_switch(self, message: Message) -> None:
         """Deliver a controller-originated message after one-way latency."""
-        if not self.connected or self.switch_sink is None:
+        if not self.connected:
+            self._note_dead("to_switch")
+            return
+        if self.switch_sink is None:
             return
         self.to_switch_count += 1
         self._transmit(message, self.impair_to_switch,
@@ -138,7 +144,10 @@ class ControlChannel:
     # evaluated *here*, so in-flight messages die with the link)
     # ------------------------------------------------------------------
     def _deliver_to_switch(self, message: Message) -> None:
-        if not self.connected or self.switch_sink is None:
+        if not self.connected:
+            self._note_dead("to_switch")
+            return
+        if self.switch_sink is None:
             return
         impairments = self.impair_to_switch
         if (impairments is not None and impairments.loss
@@ -149,7 +158,10 @@ class ControlChannel:
         self.switch_sink(message)
 
     def _deliver_to_controller(self, message: Message) -> None:
-        if not self.connected or self.controller_sink is None:
+        if not self.connected:
+            self._note_dead("to_controller")
+            return
+        if self.controller_sink is None:
             return
         impairments = self.impair_to_controller
         if (impairments is not None and impairments.loss
@@ -163,6 +175,15 @@ class ControlChannel:
         metrics = self.sim.obs.metrics
         if metrics.enabled:
             metrics.counter(f"channel.{self.datapath_id}.{direction}_dropped").inc()
+
+    def _note_dead(self, direction: str) -> None:
+        """Metrics-only dead-letter accounting: a message that died
+        because the channel was disconnected (distinct from the
+        impairment-loss ``_dropped`` counters, which feed the chaos
+        report's ``channel_drops``)."""
+        metrics = self.sim.obs.metrics
+        if metrics.enabled:
+            metrics.counter(f"channel.{self.datapath_id}.{direction}_dead").inc()
 
     # ------------------------------------------------------------------
     # Link state / impairment configuration

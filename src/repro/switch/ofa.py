@@ -115,12 +115,19 @@ class OpenFlowAgent:
                           self.packet_in_server.backlog)
             metrics.gauge(f"ofa.{switch.name}.install_queue",
                           self.install_server.backlog)
+            # Constant, but exported as a gauge so saturation SLIs can
+            # divide arrival rates by per-switch capacity generically.
+            capacity = float(self.profile.packet_in_rate)
+            metrics.gauge(f"ofa.{switch.name}.packet_in_capacity",
+                          lambda capacity=capacity: capacity)
         self._m_packet_ins = metrics.counter(f"ofa.{switch.name}.packet_ins")
         self._m_packet_in_drops = metrics.counter(
             f"ofa.{switch.name}.packet_in_drops")
         self._m_installs = metrics.counter(f"ofa.{switch.name}.installs")
         self._m_install_failures = metrics.counter(
             f"ofa.{switch.name}.install_failures")
+        self._m_stall_deferred = metrics.counter(
+            f"ofa.{switch.name}.stall_deferred")
 
     # ------------------------------------------------------------------
     # Data plane -> controller (Packet-In)
@@ -174,6 +181,7 @@ class OpenFlowAgent:
             return
         if self._stalled_until > self.sim.now:
             self.stall_deferred += 1
+            self._m_stall_deferred.inc()
             self.sim.schedule(
                 self._stalled_until - self.sim.now, self.handle_from_controller, message
             )

@@ -102,6 +102,33 @@ def test_inspect_missing_file_errors(tmp_path, capsys):
     assert "cannot read trace" in capsys.readouterr().err
 
 
+def test_inspect_metrics_file(tmp_path, capsys):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("ofa.sw1.packet_ins").inc(7)
+    registry.gauge("queue.depth").set(2.5)
+    registry.histogram("lat", buckets=(1.0, 10.0)).observe(3.0)
+    registry.sample(now=1.0)
+    path = tmp_path / "m.metrics.jsonl"
+    registry.export_jsonl(str(path))
+    assert main(["inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Metrics summary" in out
+    assert "ofa.sw1.packet_ins" in out and "counter" in out
+    assert "Histograms" in out and "p99" in out
+    assert "samples: 2" in out
+
+
+def test_prom_flag_writes_text_format(tmp_path, capsys):
+    prom = tmp_path / "fig9.prom"
+    assert main(["fig", "9", "--quick", "--prom", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "prometheus:" in out
+    text = prom.read_text()
+    assert "# TYPE scotch_" in text and "_total " in text
+
+
 @pytest.mark.slow
 def test_all_figures_run_quick(capsys):
     """Every figure subcommand completes in --quick mode."""
@@ -144,6 +171,27 @@ def test_chaos_listed(capsys):
     assert "chaos" in capsys.readouterr().out
 
 
+def test_health_rejects_short_durations(capsys):
+    assert main(["health", "--duration", "5"]) == 2
+    assert "duration" in capsys.readouterr().err
+
+
+def test_chaos_no_health_rejects_health_outputs(tmp_path, capsys):
+    assert main(["chaos", "--no-health",
+                 "--alert-log", str(tmp_path / "a.jsonl")]) == 2
+    assert "--no-health" in capsys.readouterr().err
+
+
+def test_health_rejects_unreadable_rules_file(tmp_path, capsys):
+    assert main(["health", "--rules", str(tmp_path / "nope.rules")]) == 2
+    assert "cannot load alert rules" in capsys.readouterr().err
+
+
+def test_health_listed(capsys):
+    assert main(["list"]) == 0
+    assert "health" in capsys.readouterr().out
+
+
 @pytest.mark.slow
 @pytest.mark.chaos
 def test_chaos_command_full_run(capsys, tmp_path):
@@ -151,6 +199,31 @@ def test_chaos_command_full_run(capsys, tmp_path):
     assert main(["chaos", "--seed", "1", "--fault-log", str(log_path)]) == 0
     out = capsys.readouterr().out
     assert "Chaos run" in out and "Recovery report" in out
+    # With health on by default the report carries the scorecard.
+    assert "Detection scorecard" in out
     assert "verdict: HEALTHY" in out
     lines = log_path.read_text().strip().splitlines()
     assert len(lines) > 5
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+def test_health_command_full_run(capsys, tmp_path):
+    import json
+
+    alert_log = tmp_path / "alerts.jsonl"
+    html = tmp_path / "health.html"
+    card = tmp_path / "scorecard.json"
+    assert main(["health", "--seed", "1",
+                 "--alert-log", str(alert_log),
+                 "--health-report", str(html),
+                 "--scorecard-json", str(card)]) == 0
+    out = capsys.readouterr().out
+    assert "Health report" in out and "Detection scorecard" in out
+    assert "-> OK" in out
+    lines = alert_log.read_text().strip().splitlines()
+    assert len(lines) > 5
+    assert all(json.loads(line)["alert"] for line in lines)
+    assert html.read_text().startswith("<!DOCTYPE html")
+    payload = json.loads(card.read_text())
+    assert payload["recall"] == 1.0 and payload["precision"] == 1.0
