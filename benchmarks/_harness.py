@@ -1,0 +1,126 @@
+"""Shared measurement harness for the perf benchmarks.
+
+pytest-benchmark gives nice terminal tables, but the numbers the repo
+tracks over time live in ``benchmarks/output/BENCH_<name>.json``: a
+small, stable schema (wall-clock samples + median/p95, workload
+counters, peak RSS) that CI uploads as an artifact and humans diff
+across commits.  docs/usage.md ("Reading BENCH_*.json") documents the
+schema.
+
+Usage::
+
+    from benchmarks._harness import measure, emit_bench
+
+    timing = measure(run_workload, warmup=1, repeats=3)
+    emit_bench("scale", timing, workload={"vswitches": 504, ...})
+
+``measure`` returns a dict with the raw samples and the derived stats;
+``emit_bench`` merges in workload metadata and writes the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of a small sample."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def measure(
+    fn: Callable[[], Any],
+    warmup: int = 0,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Time ``fn`` with optional warmup runs.
+
+    Returns ``{"samples": [...], "median": s, "p95": s, "min": s,
+    "max": s, "repeats": n, "warmup": n, "result": last_return}``.
+    The last run's return value is kept so callers can pull workload
+    counters out of it without running the workload twice.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "samples": [round(s, 6) for s in samples],
+        "median": round(percentile(samples, 50.0), 6),
+        "p95": round(percentile(samples, 95.0), 6),
+        "min": round(min(samples), 6),
+        "max": round(max(samples), 6),
+        "repeats": repeats,
+        "warmup": warmup,
+        "result": result,
+    }
+
+
+def emit_bench(
+    name: str,
+    timing: Dict[str, Any],
+    workload: Optional[Dict[str, Any]] = None,
+    path: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` under benchmarks/output/ (or ``path``).
+
+    The emitted schema::
+
+        {
+          "bench": "<name>",
+          "wall_seconds": {samples, median, p95, min, max, repeats, warmup},
+          "workload": {...counters the benchmark chose to record...},
+          "peak_rss_mib": ...,
+          "python": "3.11.x", "platform": "Linux-..."
+        }
+    """
+    wall = {k: v for k, v in timing.items() if k != "result"}
+    payload = {
+        "bench": name,
+        "wall_seconds": wall,
+        "workload": workload or {},
+        "peak_rss_mib": round(peak_rss_mib(), 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if path is None:
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        path = os.path.join(OUTPUT_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

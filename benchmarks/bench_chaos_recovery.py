@@ -6,16 +6,24 @@ failure fraction during the fault window versus after recovery, plus
 the control-plane repair work it took to get there.
 """
 
+from _harness import emit_bench, measure
+
 from repro.faults import format_report, run_chaos
 from repro.testbed.report import format_table
 
 SEEDS = (1, 2, 3)
 
 
-def test_chaos_recovery(benchmark, emit):
-    reports = benchmark.pedantic(
-        lambda: [run_chaos(seed=seed) for seed in SEEDS], rounds=1, iterations=1
+def test_chaos_recovery(emit):
+    timing = measure(
+        lambda: [run_chaos(seed=seed) for seed in SEEDS], warmup=0, repeats=1
     )
+    reports = timing["result"]
+    emit_bench("chaos", timing, workload={
+        "seeds": list(SEEDS),
+        "faults_injected": sum(r.faults_injected for r in reports),
+        "flows_started": sum(r.flows_started for r in reports),
+    })
     emit(
         "chaos_recovery",
         format_table(

@@ -6,15 +6,21 @@ attack rate grows from 100 to 3800 flows/sec; the two hardware switches
 software agent has an order of magnitude more control-path capacity.
 """
 
+from _harness import emit_bench, measure
+
 from repro.metrics.plot import sparkline
 from repro.testbed.experiments import FIG3_ATTACK_RATES, FIG3_PROFILES, fig3_series
 from repro.testbed.report import format_table
 
 
-def test_fig3_failure_vs_attack_rate(benchmark, emit):
-    series = benchmark.pedantic(
-        lambda: fig3_series(duration=10.0), rounds=1, iterations=1
-    )
+def test_fig3_failure_vs_attack_rate(emit):
+    timing = measure(lambda: fig3_series(duration=10.0), warmup=0, repeats=1)
+    series = timing["result"]
+    emit_bench("fig03", timing, workload={
+        "duration": 10.0,
+        "profiles": [p.name for p in FIG3_PROFILES],
+        "attack_rates": list(FIG3_ATTACK_RATES),
+    })
     rows = []
     for rate_index, rate in enumerate(FIG3_ATTACK_RATES):
         row = [rate]

@@ -166,6 +166,7 @@ def cmd_list(_args) -> int:
     rows.append(["demo", "quickstart flood demo"])
     rows.append(["chaos", "fault-injection run with recovery report (docs/robustness.md)"])
     rows.append(["health", "chaos-verified alert detection scorecard (docs/observability.md)"])
+    rows.append(["scale", "500+-vSwitch overlay flash crowd (engine throughput)"])
     rows.append(["profiles", "calibrated switch models"])
     _print(format_table(["target", "description"], rows, title="Available runs"))
     return 0
@@ -356,6 +357,38 @@ def cmd_health(args) -> int:
           f"false positives {len(card.false_positives)}  "
           f"-> {'OK' if ok else 'MISSED' if not card.all_detected else 'NOISY'}")
     return 0 if ok else 1
+
+
+def cmd_scale(args) -> int:
+    """Run the scale scenario: a several-hundred-vSwitch overlay under
+    flash-crowd load, reporting engine throughput (events/sec), wall
+    time per phase and client impact."""
+    import dataclasses
+    import json as json_module
+
+    from repro.testbed.scale import run_scale
+
+    if args.host_vswitches + args.mesh < 2:
+        print("need at least 2 vSwitches", file=sys.stderr)
+        return 2
+    result = run_scale(
+        seed=args.seed,
+        host_vswitches=args.host_vswitches,
+        mesh=args.mesh,
+        tors=args.tors,
+        targets=args.targets,
+        duration=args.duration,
+        base_rate_fps=args.base_rate,
+        crowd_multiplier=args.crowd_multiplier,
+    )
+    _print(result.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(dataclasses.asdict(result), handle,
+                             indent=2, sort_keys=True)
+            handle.write("\n")
+        _print(f"wrote {args.json}")
+    return 0
 
 
 def cmd_inspect(args) -> int:
@@ -633,6 +666,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_health_output_flags(health)
     _add_obs_flags(health)
     health.set_defaults(func=cmd_health)
+
+    scale = sub.add_parser(
+        "scale",
+        help="flash crowd over a several-hundred-vSwitch overlay "
+             "(engine throughput: events/sec, wall time, client impact)")
+    scale.add_argument("--seed", type=int, default=1)
+    scale.add_argument("--host-vswitches", type=int, default=480,
+                       help="host vSwitches (one idle tenant rack slice "
+                            "each; default 480)")
+    scale.add_argument("--mesh", type=int, default=24,
+                       help="mesh vSwitches in the overlay core (default 24)")
+    scale.add_argument("--tors", type=int, default=8,
+                       help="physical ToR switches (default 8)")
+    scale.add_argument("--targets", type=int, default=16,
+                       help="flash-crowd service servers (default 16)")
+    scale.add_argument("--duration", type=float, default=5.0,
+                       help="simulated seconds (default 5)")
+    scale.add_argument("--base-rate", type=float, default=20.0,
+                       help="per-target new-flow rate before the crowd "
+                            "(flows/s, default 20)")
+    scale.add_argument("--crowd-multiplier", type=float, default=10.0,
+                       help="rate multiplier during the crowd window "
+                            "(default 10)")
+    scale.add_argument("--json", metavar="FILE",
+                       help="write the full ScaleResult as JSON")
+    scale.set_defaults(func=cmd_scale)
 
     inspect = sub.add_parser(
         "inspect",

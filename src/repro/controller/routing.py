@@ -91,15 +91,14 @@ class Router:
             if not isinstance(self.network[node_name], OpenFlowSwitch):
                 continue
             out_port = self.network.port_between(node_name, path[index + 1])
-            fields = dict(
-                src_ip=key.src_ip,
-                dst_ip=key.dst_ip,
-                proto=key.proto,
-                src_port=key.src_port,
-                dst_port=key.dst_port,
+            match = Match.exact(
+                key.src_ip,
+                key.dst_ip,
+                key.proto,
+                key.src_port,
+                key.dst_port,
+                in_port=first_hop_in_port if index == 0 else None,
             )
-            if index == 0 and first_hop_in_port is not None:
-                fields["in_port"] = first_hop_in_port
-            rules.append(HopRule(node_name, Match(**fields), [Output(out_port)]))
+            rules.append(HopRule(node_name, match, [Output(out_port)]))
         rules.reverse()
         return rules

@@ -28,7 +28,7 @@ def int_to_ip(value: int) -> str:
     """32-bit integer -> dotted quad."""
     if not 0 <= value <= 0xFFFFFFFF:
         raise ValueError(f"IPv4 integer out of range: {value!r}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return f"{value >> 24}.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
 
 
 def make_ip(net: int, host: int) -> str:

@@ -23,7 +23,16 @@ DEFAULT_QUEUE = 1000
 
 
 class DirectedLink:
-    """One direction of a link, delivering into ``dst_node.receive``."""
+    """One direction of a link, delivering into ``dst_node.receive``.
+
+    The link is a FIFO server with a deterministic service time
+    (``wire_bits / rate_bps``) and nothing can perturb a packet once it
+    is accepted, so the whole serialize→propagate pipeline is computed
+    arithmetically at transmit time and the simulation carries exactly
+    one event per packet (the delivery).  Serialization-start times are
+    kept per pending packet so the drop-tail decision sees the same
+    queue depth the explicit per-stage events used to maintain.
+    """
 
     def __init__(
         self,
@@ -46,32 +55,34 @@ class DirectedLink:
         self.dst_port_no = dst_port_no
         self.queue_packets = queue_packets
         self.name = name or f"->{dst_node.name}:{dst_port_no}"
-        self._queue: Deque["Packet"] = deque()
-        self._busy = False
+        #: Serialization-start times of accepted-but-not-yet-serializing
+        #: packets; the awaiting-serialization queue, as start times.
+        self._pending_starts: Deque[float] = deque()
+        self._busy_until = 0.0
         self.delivered = 0
         self.dropped = 0
 
     def transmit(self, packet: "Packet") -> None:
-        """Enqueue for serialization; drop-tail when the queue is full."""
-        if len(self._queue) >= self.queue_packets:
+        """Accept for serialization; drop-tail when the queue is full."""
+        now = self.sim.now
+        pending = self._pending_starts
+        # Packets whose serialization has begun (start <= now) have left
+        # the awaiting queue; strict '>' keeps a start at exactly `now`
+        # out of the depth, matching the event-per-stage ordering where
+        # the serialization start fires before this transmit.
+        while pending and pending[0] <= now:
+            pending.popleft()
+        if len(pending) >= self.queue_packets:
             self.dropped += packet.count
             return
-        self._queue.append(packet)
-        if not self._busy:
-            self._serialize_next()
-
-    def _serialize_next(self) -> None:
-        self._busy = True
-        packet = self._queue.popleft()
-        tx_time = packet.wire_bits / self.rate_bps
-        self.sim.schedule(tx_time, self._tx_done, packet)
-
-    def _tx_done(self, packet: "Packet") -> None:
-        self.sim.schedule(self.delay, self._deliver, packet)
-        if self._queue:
-            self._serialize_next()
-        else:
-            self._busy = False
+        start = self._busy_until
+        if start < now:
+            start = now
+        # packet.wire_bits, inlined (one property call per packet-hop adds up)
+        done = start + (packet.size + packet._overhead) * 8 * packet.count / self.rate_bps
+        self._busy_until = done
+        pending.append(start)
+        self.sim.schedule_at(done + self.delay, self._deliver, packet)
 
     def _deliver(self, packet: "Packet") -> None:
         self.delivered += packet.count
@@ -79,7 +90,11 @@ class DirectedLink:
 
     @property
     def backlog(self) -> int:
-        return len(self._queue)
+        now = self.sim.now
+        pending = self._pending_starts
+        while pending and pending[0] <= now:
+            pending.popleft()
+        return len(pending)
 
 
 def connect(

@@ -76,6 +76,7 @@ class Packet:
         "tcp_flag",
         "created_at",
         "encap",
+        "_overhead",
         "popped_labels",
         "metadata",
         "hops",
@@ -108,6 +109,7 @@ class Packet:
         self.tcp_flag = tcp_flag
         self.created_at = created_at
         self.encap: List[Header] = []
+        self._overhead = 0  # wire bytes added by encap, maintained by push/pop
         self.popped_labels: List[int] = []
         self.metadata: Dict[str, Any] = {}
         self.hops: List[str] = []
@@ -118,12 +120,15 @@ class Packet:
     def push(self, header: Header) -> None:
         """Push an encapsulation header (becomes outermost)."""
         self.encap.append(header)
+        self._overhead += MPLS_OVERHEAD if type(header) is MplsHeader else GRE_OVERHEAD
 
     def pop(self) -> Header:
         """Pop the outermost encapsulation header."""
         if not self.encap:
             raise ValueError("pop on packet with empty encap stack")
-        return self.encap.pop()
+        header = self.encap.pop()
+        self._overhead -= MPLS_OVERHEAD if type(header) is MplsHeader else GRE_OVERHEAD
+        return header
 
     @property
     def outer(self) -> Optional[Header]:
@@ -143,15 +148,12 @@ class Packet:
     @property
     def wire_size(self) -> int:
         """Per-packet size on the wire including encapsulation overhead."""
-        overhead = 0
-        for header in self.encap:
-            overhead += MPLS_OVERHEAD if isinstance(header, MplsHeader) else GRE_OVERHEAD
-        return self.size + overhead
+        return self.size + self._overhead
 
     @property
     def wire_bits(self) -> int:
         """Total bits for the whole train (used for link serialization)."""
-        return self.wire_size * 8 * self.count
+        return (self.size + self._overhead) * 8 * self.count
 
     # ------------------------------------------------------------------
     # Identity

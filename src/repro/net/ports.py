@@ -34,8 +34,9 @@ class Port:
         (an unattached port behaves like an unplugged cable)."""
         if self.link is None:
             return
-        self.tx_packets += packet.count
-        self.tx_bytes += packet.wire_size * packet.count
+        count = packet.count
+        self.tx_packets += count
+        self.tx_bytes += (packet.size + packet._overhead) * count  # wire_size, inlined
         self.link.transmit(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,20 +1,48 @@
 """Deterministic discrete-event simulation engine.
 
-The engine is a binary-heap calendar queue.  Simultaneous events fire in
-the order they were scheduled (a monotonically increasing sequence number
-breaks timestamp ties), which makes every run with the same seed and the
-same model code bit-for-bit reproducible.
+The calendar is a binary heap of **time slots**: one heap entry per
+distinct timestamp, each holding the list of events scheduled at that
+instant in scheduling order.  This buys three things over the classic
+one-heap-entry-per-event design it replaced:
+
+* heap comparisons never call back into Python — slot entries are plain
+  lists whose first element is the timestamp, so ``heapq`` orders them
+  with C-level float comparisons (the old per-``Event`` ``__lt__`` was
+  the single hottest function in profile runs);
+* same-timestamp events **coalesce** into one heap entry: scheduling
+  another event at an already-populated instant is an O(1) list append
+  instead of an O(log n) sift — periodic daemon ticks (expiry sweeps,
+  monitors, samplers) across hundreds of switches land on aligned
+  timestamps and share slots;
+* dispatch drains a slot by bumping an index — no per-event pop.
+
+Simultaneous events still fire in the order they were scheduled (slot
+lists are append-only and appends happen in sequence-number order), so
+every run with the same seed and the same model code remains
+bit-for-bit reproducible; ``tests/golden/`` pins this across engine
+changes.
+
+Cancellation is O(1): :meth:`Event.cancel` flags the event *and*
+settles the foreground/live accounting immediately with the simulator
+it belongs to, instead of deferring to a lazy heap sweep.  A cancelled
+foreground event therefore never keeps an un-horizoned :meth:`run`
+alive, and :meth:`Simulator.peek` discarding dead events needs no
+accounting fix-ups at all.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
+from heapq import heappop, heappush
 from time import perf_counter
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.base import get_default_obs
 from repro.sim.rng import RngRegistry
+
+#: Slot layout: ``[time, next_index, events]``.  Times are unique per
+#: slot (the ``Simulator._slots`` dict guarantees it), so heap ordering
+#: only ever compares the leading floats.
+_TIME, _HEAD, _EVENTS = 0, 1, 2
 
 
 class SimulationError(Exception):
@@ -34,27 +62,47 @@ class Event:
     daemon events remain.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "daemon")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "daemon",
+                 "fired", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple,
-                 daemon: bool = False):
+                 daemon: bool = False, sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.daemon = daemon
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing.  Idempotent; safe after firing."""
+        """Prevent this event from firing.  Idempotent; safe after firing.
+
+        Cancellation settles the owning simulator's accounting
+        immediately (O(1)): a cancelled foreground event stops counting
+        toward the work that keeps an un-horizoned run alive, and the
+        callback/argument references are released right away.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._live -= 1
+            if not self.daemon:
+                sim._foreground_pending -= 1
+        # Release closures/payloads now rather than when the calendar
+        # eventually reaches this timestamp.
+        self.callback = None  # type: ignore[assignment]
+        self.args = ()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
-        state = " cancelled" if self.cancelled else ""
+        state = " cancelled" if self.cancelled else (" fired" if self.fired else "")
         return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
 
 
@@ -75,13 +123,24 @@ class Simulator:
     def __init__(self, seed: int = 0, obs: Optional[Any] = None):
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
-        self._heap: List[Event] = []
+        #: Heap of ``[time, head, events]`` slots, one per distinct time.
+        self._heap: List[list] = []
+        #: time -> its slot (the coalescing index for O(1) same-time adds).
+        self._slots: Dict[float, list] = {}
         self._seq = 0
         self._running = False
         self._stopped = False
-        #: Non-daemon events still in the heap (fired/discarded ones
-        #: excluded); when this reaches zero, an un-horizoned run() ends.
+        #: Live (scheduled, not fired, not cancelled) non-daemon events;
+        #: when this reaches zero, an un-horizoned run() ends.
         self._foreground_pending = 0
+        #: Live events of any kind (the ``pending`` property).
+        self._live = 0
+        #: Events resident in the calendar, cancelled-but-undiscarded
+        #: included (the ``heap_depth`` memory-pressure signal).
+        self._calendar = 0
+        #: Total events dispatched over this simulator's lifetime (the
+        #: benchmarks' events/sec numerator).
+        self.events_fired = 0
         #: Observability context (tracer/metrics/profiler).  Defaults to
         #: the process-wide default (a no-op unless e.g. the CLI installed
         #: a live one); components reach it as ``self.sim.obs``.
@@ -97,22 +156,60 @@ class Simulator:
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
                  daemon: bool = False) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
-        if delay < 0 or math.isnan(delay):
+        if not delay >= 0:  # rejects negative and NaN in one comparison
             raise SimulationError(f"cannot schedule with negative/NaN delay {delay!r}")
-        return self.schedule_at(self.now + delay, callback, *args, daemon=daemon)
+        time = self.now + delay
+        # Event construction is inlined (no __init__ call): schedule()
+        # runs once per event and the call overhead is measurable.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = self._seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.daemon = daemon
+        event.fired = False
+        event._sim = self
+        self._seq += 1
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = slot = [time, 0, [event]]
+            heappush(self._heap, slot)
+        else:
+            slot[_EVENTS].append(event)
+        if not daemon:
+            self._foreground_pending += 1
+        self._live += 1
+        self._calendar += 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
                     daemon: bool = False) -> Event:
         """Schedule ``callback(*args)`` to fire at absolute time ``time``."""
-        if time < self.now:
+        if not time >= self.now:  # rejects the past and NaN in one comparison
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before now ({self.now!r})"
             )
-        event = Event(time, self._seq, callback, args, daemon=daemon)
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = self._seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.daemon = daemon
+        event.fired = False
+        event._sim = self
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = slot = [time, 0, [event]]
+            heappush(self._heap, slot)
+        else:
+            slot[_EVENTS].append(event)
         if not daemon:
             self._foreground_pending += 1
+        self._live += 1
+        self._calendar += 1
         return event
 
     # ------------------------------------------------------------------
@@ -130,20 +227,54 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        slots = self._slots
         try:
-            while self._heap and not self._stopped:
-                if until is None and self._foreground_pending == 0:
-                    break  # only daemon housekeeping left
-                event = self._heap[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                if not event.daemon:
-                    self._foreground_pending -= 1
-                if event.cancelled:
+            while heap and not self._stopped:
+                slot = heap[0]
+                events = slot[_EVENTS]
+                head = slot[_HEAD]
+                if head >= len(events):
+                    heappop(heap)
+                    del slots[slot[_TIME]]
                     continue
-                self.now = event.time
-                self._fire(event)
+                time = slot[_TIME]
+                if until is not None and time > until:
+                    break
+                # Drain the slot without touching the heap again.  The
+                # bound is re-read every iteration because callbacks may
+                # append same-time events to this very slot; the head
+                # index is written back *before* each callback so that
+                # peek()/step() called from inside one see a consistent
+                # calendar.
+                while head < len(events):
+                    if until is None and self._foreground_pending == 0:
+                        break  # only daemon housekeeping left
+                    event = events[head]
+                    events[head] = None  # free the entry
+                    head += 1
+                    slot[_HEAD] = head
+                    self._calendar -= 1
+                    if event.cancelled:
+                        continue
+                    event.fired = True
+                    self._live -= 1
+                    if not event.daemon:
+                        self._foreground_pending -= 1
+                    self.now = time
+                    self.events_fired += 1
+                    hook = self._event_hook
+                    if hook is None:
+                        event.callback(*event.args)
+                    else:
+                        start = perf_counter()
+                        event.callback(*event.args)
+                        hook(event, perf_counter() - start, self._calendar)
+                    if self._stopped:
+                        break
+                else:
+                    continue  # slot exhausted; pop it on the next pass
+                break  # stopped, or only daemons remain on a horizonless run
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
@@ -152,13 +283,28 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the single next pending event.  Returns False if none left."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.daemon:
-                self._foreground_pending -= 1
+        heap = self._heap
+        slots = self._slots
+        while heap:
+            slot = heap[0]
+            events = slot[_EVENTS]
+            head = slot[_HEAD]
+            if head >= len(events):
+                heappop(heap)
+                del slots[slot[_TIME]]
+                continue
+            event = events[head]
+            slot[_HEAD] = head + 1
+            events[head] = None
+            self._calendar -= 1
             if event.cancelled:
                 continue
-            self.now = event.time
+            event.fired = True
+            self._live -= 1
+            if not event.daemon:
+                self._foreground_pending -= 1
+            self.now = slot[_TIME]
+            self.events_fired += 1
             self._fire(event)
             return True
         return False
@@ -171,7 +317,7 @@ class Simulator:
         else:
             start = perf_counter()
             event.callback(*event.args)
-            hook(event, perf_counter() - start, len(self._heap))
+            hook(event, perf_counter() - start, self._calendar)
 
     def set_event_hook(
         self, hook: Optional[Callable[[Event, float, int], None]]
@@ -185,23 +331,38 @@ class Simulator:
         self._stopped = True
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            event = heapq.heappop(self._heap)
-            if not event.daemon:
-                # Discarding a cancelled foreground event here must keep
-                # the foreground accounting exact, or an un-horizoned
-                # run() would wait on events that no longer exist.
-                self._foreground_pending -= 1
-        return self._heap[0].time if self._heap else None
+        """Time of the next pending event, or None.
+
+        Discards cancelled events at the head of the calendar as it
+        goes; their accounting was already settled by :meth:`Event.cancel`,
+        so discarding is pure garbage collection.
+        """
+        heap = self._heap
+        slots = self._slots
+        while heap:
+            slot = heap[0]
+            events = slot[_EVENTS]
+            head = slot[_HEAD]
+            n = len(events)
+            while head < n and events[head].cancelled:
+                events[head] = None
+                head += 1
+                self._calendar -= 1
+            slot[_HEAD] = head
+            if head >= n:
+                heappop(heap)
+                del slots[slot[_TIME]]
+                continue
+            return slot[_TIME]
+        return None
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (not-yet-cancelled, not-yet-fired) events."""
+        return self._live
 
     @property
     def heap_depth(self) -> int:
-        """Raw calendar size (cancelled events included) — the profiler's
-        memory-pressure signal."""
-        return len(self._heap)
+        """Calendar population (cancelled-but-undiscarded events
+        included) — the profiler's memory-pressure signal."""
+        return self._calendar

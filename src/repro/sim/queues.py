@@ -88,11 +88,18 @@ class RoundRobinScheduler:
     def __init__(self):
         self._queues: "OrderedDict[Hashable, BoundedQueue]" = OrderedDict()
         self._last_served: Optional[Hashable] = None
+        # Rotation order + O(1) position lookup, so select() doesn't
+        # rebuild and linearly search the key list on every service
+        # opportunity (it is called once per served item).
+        self._keys: list = []
+        self._positions: Dict[Hashable, int] = {}
 
     def add_queue(self, key: Hashable, queue: BoundedQueue) -> None:
         if key in self._queues:
             raise ValueError(f"queue {key!r} already registered")
         self._queues[key] = queue
+        self._positions[key] = len(self._keys)
+        self._keys.append(key)
 
     def get_queue(self, key: Hashable) -> Optional[BoundedQueue]:
         return self._queues.get(key)
@@ -105,16 +112,16 @@ class RoundRobinScheduler:
 
     def select(self) -> Optional[Hashable]:
         """Key of the next non-empty queue in rotation, or None."""
-        keys = list(self._queues.keys())
-        if not keys:
+        keys = self._keys
+        n = len(keys)
+        if not n:
             return None
-        if self._last_served in self._queues:
-            start = keys.index(self._last_served) + 1
-        else:
-            start = 0
-        for offset in range(len(keys)):
-            key = keys[(start + offset) % len(keys)]
-            if self._queues[key]:
+        position = self._positions.get(self._last_served)
+        start = 0 if position is None else position + 1
+        queues = self._queues
+        for offset in range(n):
+            key = keys[(start + offset) % n]
+            if queues[key]:
                 return key
         return None
 

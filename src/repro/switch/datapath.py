@@ -84,7 +84,7 @@ class Datapath:
             self._begin_service()
 
     def _capacity(self) -> float:
-        ofa = getattr(self.switch, "ofa", None)
+        ofa = self.switch.ofa
         if ofa is not None:
             return ofa.datapath_capacity()
         return self.switch.profile.datapath_pps
@@ -92,8 +92,11 @@ class Datapath:
     def _begin_service(self) -> None:
         self._busy = True
         packet, in_port = self._queue.popleft()
-        service_time = packet.count / self._capacity()
-        self.sim.schedule(service_time, self._serve, packet, in_port)
+        ofa = self.switch.ofa
+        capacity = (
+            ofa.datapath_capacity() if ofa is not None else self.switch.profile.datapath_pps
+        )
+        self.sim.schedule(packet.count / capacity, self._serve, packet, in_port)
 
     def _serve(self, packet: Packet, in_port: int) -> None:
         self.processed += packet.count
@@ -108,22 +111,27 @@ class Datapath:
     # ------------------------------------------------------------------
     def process(self, packet: Packet, in_port: int) -> None:
         """Run the packet through the tables, starting at table 0."""
-        packet.note_hop(self.switch.name)
+        packet.hops.append(self.switch.name)
+        tables = self.tables
+        now = self.sim.now
         table_id = 0
-        visited = set()
+        # A pipeline of n tables can take at most n-1 goto jumps without
+        # revisiting a table; more means a rule loop (cheaper to count
+        # than to track a per-packet visited set).
+        jumps_left = len(tables)
         while True:
-            if table_id in visited:
-                raise RuntimeError(
-                    f"goto-table loop at {self.switch.name} table {table_id}"
-                )
-            visited.add(table_id)
-            entry = self.tables[table_id].lookup(packet, in_port, self.sim.now)
+            entry = tables[table_id].lookup(packet, in_port, now)
             if entry is None:
                 self._miss(packet, in_port)
                 return
             next_table = self.execute_actions(packet, entry.actions, in_port)
             if next_table is None:
                 return
+            jumps_left -= 1
+            if jumps_left <= 0:
+                raise RuntimeError(
+                    f"goto-table loop at {self.switch.name} table {next_table}"
+                )
             table_id = next_table
 
     def _miss(self, packet: Packet, in_port: int) -> None:
@@ -139,16 +147,19 @@ class Datapath:
         """Apply an action list; returns a table id if a GotoTable asks
         the pipeline to continue, else None (packet fully handled)."""
         for action in actions:
-            if isinstance(action, Output):
+            # Exact-type checks: actions are final dataclasses, and
+            # `type(x) is C` skips the subclass walk isinstance pays for.
+            kind = type(action)
+            if kind is Output:
                 port = self.switch.ports.get(action.port_no)
                 if port is None:
                     self.dropped_no_route += packet.count
                     return None
                 port.send(packet)
-            elif isinstance(action, Controller):
+            elif kind is Controller:
                 self.punted += 1
                 self.switch.ofa.punt(packet, in_port, reason=action.reason)
-            elif isinstance(action, Group):
+            elif kind is Group:
                 group = self.groups.get(action.group_id)
                 if group is None:
                     self.dropped_no_route += packet.count
@@ -160,21 +171,21 @@ class Datapath:
                 bucket.packets += packet.count
                 bucket.bytes += packet.size * packet.count
                 return self.execute_actions(packet, bucket.actions, in_port)
-            elif isinstance(action, PushMpls):
+            elif kind is PushMpls:
                 packet.push(MplsHeader(action.label))
-            elif isinstance(action, PopMpls):
+            elif kind is PopMpls:
                 header = packet.pop()
                 if isinstance(header, MplsHeader):
                     packet.popped_labels.append(header.label)
-            elif isinstance(action, SetGreKey):
+            elif kind is SetGreKey:
                 packet.push(GreHeader(action.key))
-            elif isinstance(action, PopGre):
+            elif kind is PopGre:
                 header = packet.pop()
                 if isinstance(header, GreHeader):
                     packet.popped_labels.append(header.key)
-            elif isinstance(action, GotoTable):
+            elif kind is GotoTable:
                 return action.table_id
-            elif isinstance(action, Drop):
+            elif kind is Drop:
                 self.dropped_policy += packet.count
                 return None
             else:

@@ -10,21 +10,29 @@ For speed the table keeps two structures:
   (possibly with extra constraints such as an MPLS label or in_port) are
   bucketed by five-tuple — these are the per-flow rules a reactive
   controller installs by the thousands, and each bucket stays tiny;
-* a small **scan list** for everything else (per-port defaults, tunnel
-  label rules, per-destination delivery rules), kept sorted by priority.
+* a **label index** over the rest: entries that pin an encapsulation
+  label (``mpls_label`` / ``gre_key``) — the overlay's tunnel transit
+  and terminal rules, of which a fabric switch carries one per tunnel —
+  are bucketed by that exact label value;
+* a small **general scan list** for everything else (per-port defaults,
+  per-destination delivery rules, table-miss catch-alls), kept sorted
+  by priority.
 
-A lookup consults both and picks the higher-priority winner, so the
-optimization never changes semantics (verified by a property test that
-compares against a naive full scan).
+A lookup consults the five-tuple bucket, the packet's label bucket and
+the general list (the latter two merged in priority order) and picks
+the highest-priority winner, so the indexing never changes semantics
+(verified by a property test that compares against a naive full scan).
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.net.packet import MplsHeader
 from repro.switch.actions import Action
-from repro.switch.match import FIVE_TUPLE, Match, extract_fields
+from repro.switch.match import Match, extract_fields
 
 _entry_ids = itertools.count(1)
 
@@ -99,6 +107,24 @@ class FlowEntry:
         return f"<FlowEntry #{self.entry_id} p{self.priority} {self.match!r}>"
 
 
+def _wild_sort_key(entry: FlowEntry) -> Tuple[int, int]:
+    """Scan order: priority descending, then installation order."""
+    return (-entry.priority, entry.entry_id)
+
+
+def _label_bucket_key(match: Match) -> Optional[Tuple[str, object]]:
+    """The label-index bucket a non-five-tuple match belongs to, or None
+    for the general scan list."""
+    fields = match.fields
+    label = fields.get("mpls_label")
+    if label is not None:
+        return ("mpls_label", label)
+    key = fields.get("gre_key")
+    if key is not None:
+        return ("gre_key", key)
+    return None
+
+
 class FlowTable:
     """One table of the pipeline, with optional TCAM capacity."""
 
@@ -107,7 +133,14 @@ class FlowTable:
         self.capacity = capacity
         self._size = 0
         self._indexed: Dict[Tuple, List[FlowEntry]] = {}
+        #: All non-five-tuple entries, sorted by ``_wild_sort_key``
+        #: (the master list: entries()/remove_where iterate it).
         self._wild: List[FlowEntry] = []
+        #: Label-pinning subset of _wild, bucketed by exact label value;
+        #: each bucket sorted by ``_wild_sort_key``.
+        self._wild_label: Dict[Tuple[str, object], List[FlowEntry]] = {}
+        #: The label-free subset of _wild, sorted by ``_wild_sort_key``.
+        self._wild_general: List[FlowEntry] = []
         self.lookups = 0
         self.hits = 0
         self.evictions = 0
@@ -151,9 +184,19 @@ class FlowTable:
         if entry.match.has_five_tuple:
             self._indexed.setdefault(entry.match.five_tuple_key(), []).append(entry)
         else:
-            self._wild.append(entry)
-            # Keep the scan list ordered: priority desc, then insertion order.
-            self._wild.sort(key=lambda e: (-e.priority, e.entry_id))
+            # Keep every scan structure ordered (priority desc, then
+            # insertion order); sort keys are unique, so insort lands
+            # each entry exactly where a full re-sort would.
+            insort(self._wild, entry, key=_wild_sort_key)
+            bucket_key = _label_bucket_key(entry.match)
+            if bucket_key is None:
+                insort(self._wild_general, entry, key=_wild_sort_key)
+            else:
+                insort(
+                    self._wild_label.setdefault(bucket_key, []),
+                    entry,
+                    key=_wild_sort_key,
+                )
         self._size += 1
 
     def remove(self, match: Match, priority: Optional[int] = None) -> int:
@@ -162,7 +205,13 @@ class FlowTable:
         if match.has_five_tuple:
             candidates = list(self._indexed.get(match.five_tuple_key(), ()))
         else:
-            candidates = list(self._wild)
+            # An equal match shares the same label signature, so only
+            # its own bucket can hold candidates.
+            bucket_key = _label_bucket_key(match)
+            if bucket_key is None:
+                candidates = list(self._wild_general)
+            else:
+                candidates = list(self._wild_label.get(bucket_key, ()))
         removed = 0
         for entry in candidates:
             if entry.match == match and (priority is None or entry.priority == priority):
@@ -200,7 +249,11 @@ class FlowTable:
         if match.has_five_tuple:
             candidates = self._indexed.get(match.five_tuple_key(), ())
         else:
-            candidates = self._wild
+            bucket_key = _label_bucket_key(match)
+            if bucket_key is None:
+                candidates = self._wild_general
+            else:
+                candidates = self._wild_label.get(bucket_key, ())
         for entry in candidates:
             if entry.priority == priority and entry.match == match:
                 return entry
@@ -223,6 +276,14 @@ class FlowTable:
                 self._wild.remove(entry)
             except ValueError:
                 return
+            bucket_key = _label_bucket_key(entry.match)
+            if bucket_key is None:
+                self._wild_general.remove(entry)
+            else:
+                bucket = self._wild_label[bucket_key]
+                bucket.remove(entry)
+                if not bucket:
+                    del self._wild_label[bucket_key]
         self._size -= 1
 
     # ------------------------------------------------------------------
@@ -230,34 +291,116 @@ class FlowTable:
     # ------------------------------------------------------------------
     def lookup(self, packet, in_port: int, now: float) -> Optional[FlowEntry]:
         """Highest-priority live match, with lazy expiry of the indexed
-        candidates it inspects.  Updates counters on the winner."""
-        self.lookups += 1
-        fields = extract_fields(packet, in_port)
-        best: Optional[FlowEntry] = None
+        candidates it inspects.  Updates counters on the winner.
 
-        bucket = self._indexed.get(tuple(fields[f] for f in FIVE_TUPLE))
+        Hot path: the five-tuple key is built straight from the packet
+        attributes and the full field view (``extract_fields``) is only
+        materialized if some candidate actually constrains a non-five-
+        tuple field — for an indexed entry the bucket key *is* the
+        five-tuple, so only its ``_extra_items`` need checking, and the
+        timeout/winner checks are inlined (no per-candidate calls).
+        Non-indexed candidates come from the packet's label bucket and
+        the general list, merged in scan order — entries pinning a
+        *different* label can never match and are never visited.
+        """
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+        fields = None
+
+        bucket = self._indexed.get(
+            (packet.src_ip, packet.dst_ip, packet.proto, packet.src_port, packet.dst_port)
+        )
         if bucket:
-            for entry in list(bucket):
-                if entry.expired(now):
+            for entry in (bucket[0],) if len(bucket) == 1 else list(bucket):
+                hard = entry.hard_timeout
+                idle = entry.idle_timeout
+                if (hard > 0.0 and now - entry.installed_at >= hard) or (
+                    idle > 0.0 and now - entry.last_hit_at >= idle
+                ):
                     self._remove_entry(entry)
                     self.evictions += 1
                     self._notify_expired(entry, now)
                     continue
-                if not entry.match.matches(fields):
-                    continue
-                if best is None or entry._beats(best):
+                extras = entry.match._extra_items
+                if extras:
+                    if fields is None:
+                        fields = extract_fields(packet, in_port)
+                    get = fields.get
+                    matched = True
+                    for name, wanted in extras:
+                        if get(name) != wanted:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                if best is None or (entry.priority, -entry.entry_id) > (
+                    best.priority, -best.entry_id
+                ):
                     best = entry
 
-        for entry in self._wild:
-            if best is not None and not entry._beats(best):
-                break  # _wild is sorted by (-priority, entry_id); nothing better follows
-            if entry.expired(now):
+        general = self._wild_general
+        labelled: Optional[List[FlowEntry]] = None
+        if self._wild_label:
+            encap = packet.encap
+            if encap:
+                outer = encap[-1]
+                if type(outer) is MplsHeader:
+                    labelled = self._wild_label.get(("mpls_label", outer.label))
+                else:
+                    labelled = self._wild_label.get(("gre_key", outer.key))
+        # Merge the two sorted lists in scan order (priority desc, then
+        # installation order) — identical visiting order to the old
+        # single-list scan, minus the impossible label candidates.
+        gi, gn = 0, len(general)
+        li, ln = 0, (len(labelled) if labelled else 0)
+        while gi < gn or li < ln:
+            if gi < gn:
+                entry = general[gi]
+                if li < ln:
+                    other = labelled[li]
+                    if (other.priority, -other.entry_id) > (entry.priority, -entry.entry_id):
+                        entry = other
+                        li += 1
+                    else:
+                        gi += 1
+                else:
+                    gi += 1
+            else:
+                entry = labelled[li]
+                li += 1
+            if best is not None:
+                # Once the current winner beats the cursor nothing
+                # better follows in either list.
+                priority = entry.priority
+                if priority < best.priority or (
+                    priority == best.priority and entry.entry_id > best.entry_id
+                ):
+                    break
+            hard = entry.hard_timeout
+            idle = entry.idle_timeout
+            if (hard > 0.0 and now - entry.installed_at >= hard) or (
+                idle > 0.0 and now - entry.last_hit_at >= idle
+            ):
                 continue  # removed by the next expire() sweep
-            if entry.match.matches(fields):
-                best = entry
-                break
+            items = entry.match._items
+            if items:
+                if fields is None:
+                    fields = extract_fields(packet, in_port)
+                get = fields.get
+                matched = True
+                for name, wanted in items:
+                    if get(name) != wanted:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+            best = entry
+            break
 
         if best is not None:
             self.hits += 1
-            best.touch(now, packet.count, packet.size * packet.count)
+            count = packet.count
+            best.last_hit_at = now
+            best.packets += count
+            best.bytes += packet.size * count
         return best

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.net.packet import Packet
+from repro.net.packet import MplsHeader, Packet
 
 #: The fields a Match may constrain, in canonical order.
 MATCH_FIELDS: Tuple[str, ...] = (
@@ -31,9 +31,20 @@ MATCH_FIELDS: Tuple[str, ...] = (
 #: Fields forming the exact five-tuple (used for the fast-path index).
 FIVE_TUPLE: Tuple[str, ...] = ("src_ip", "dst_ip", "proto", "src_port", "dst_port")
 
+_FIELD_SET = frozenset(MATCH_FIELDS)
+_FIVE_SET = frozenset(FIVE_TUPLE)
+
 
 def extract_fields(packet: Packet, in_port: int) -> Dict[str, object]:
     """The header-field view the pipeline matches against."""
+    encap = packet.encap
+    mpls = gre = None
+    if encap:
+        outer = encap[-1]
+        if type(outer) is MplsHeader:
+            mpls = outer.label
+        else:
+            gre = outer.key
     return {
         "in_port": in_port,
         "src_ip": packet.src_ip,
@@ -41,32 +52,85 @@ def extract_fields(packet: Packet, in_port: int) -> Dict[str, object]:
         "proto": packet.proto,
         "src_port": packet.src_port,
         "dst_port": packet.dst_port,
-        "mpls_label": packet.outer_mpls_label,
-        "gre_key": packet.outer_gre_key,
+        "mpls_label": mpls,
+        "gre_key": gre,
     }
 
 
 class Match:
-    """An exact-fields-with-wildcards match."""
+    """An exact-fields-with-wildcards match.
 
-    __slots__ = ("fields",)
+    Matches are immutable once built; ``__init__`` precomputes the views
+    the datapath fast path consumes on every lookup:
+
+    * ``_items`` — the constraints as a tuple of ``(field, value)`` pairs
+      (what :meth:`matches` iterates, without a dict-items allocation);
+    * ``has_five_tuple`` / ``_five_key`` — whether the full five-tuple is
+      pinned, and its hash key for the :class:`~repro.switch.flow_table.
+      FlowTable` per-flow index;
+    * ``_extra_items`` — constraints *beyond* the five-tuple.  For an
+      entry found via the per-flow index the five-tuple already matched
+      by construction, so the lookup only needs to verify these (usually
+      none).
+    """
+
+    __slots__ = ("fields", "_items", "_extra_items", "has_five_tuple", "_five_key")
 
     def __init__(self, **fields: object):
-        unknown = set(fields) - set(MATCH_FIELDS)
-        if unknown:
+        if not _FIELD_SET.issuperset(fields):
+            unknown = set(fields) - _FIELD_SET
             raise ValueError(f"unknown match fields: {sorted(unknown)}")
         self.fields: Dict[str, object] = {k: v for k, v in fields.items() if v is not None}
+        self._items = tuple(self.fields.items())
+        self._extra_items = tuple(
+            (k, v) for k, v in self._items if k not in _FIVE_SET
+        )
+        self.has_five_tuple = _FIVE_SET.issubset(self.fields)
+        self._five_key = (
+            tuple(self.fields[f] for f in FIVE_TUPLE) if self.has_five_tuple else None
+        )
 
     @classmethod
     def for_flow(cls, key) -> "Match":
         """Exact five-tuple match for a FlowKey."""
-        return cls(
-            src_ip=key.src_ip,
-            dst_ip=key.dst_ip,
-            proto=key.proto,
-            src_port=key.src_port,
-            dst_port=key.dst_port,
-        )
+        return cls.exact(key.src_ip, key.dst_ip, key.proto, key.src_port, key.dst_port)
+
+    @classmethod
+    def exact(
+        cls, src_ip, dst_ip, proto, src_port, dst_port, in_port=None
+    ) -> "Match":
+        """Exact five-tuple match (optionally pinning ``in_port``).
+
+        The reactive control path builds one of these per admitted flow
+        per hop, so the generic ``__init__`` validation/derivation work
+        is skipped and the precomputed views are filled in directly.
+        The resulting object is state-identical to the keyword form
+        (field insertion order included, which ``_items`` preserves).
+        """
+        five = (src_ip, dst_ip, proto, src_port, dst_port)
+        if None in five:  # a wildcarded field: take the generic path
+            fields = dict(zip(FIVE_TUPLE, five))
+            if in_port is not None:
+                fields["in_port"] = in_port
+            return cls(**fields)
+        self = cls.__new__(cls)
+        fields = {
+            "src_ip": src_ip,
+            "dst_ip": dst_ip,
+            "proto": proto,
+            "src_port": src_port,
+            "dst_port": dst_port,
+        }
+        if in_port is None:
+            self._extra_items = ()
+        else:
+            fields["in_port"] = in_port
+            self._extra_items = (("in_port", in_port),)
+        self.fields = fields
+        self._items = tuple(fields.items())
+        self.has_five_tuple = True
+        self._five_key = five
+        return self
 
     @classmethod
     def any(cls) -> "Match":
@@ -76,21 +140,18 @@ class Match:
     @property
     def is_exact_five_tuple(self) -> bool:
         """True when this match pins exactly the five-tuple (no more, no less)."""
-        return set(self.fields) == set(FIVE_TUPLE)
-
-    @property
-    def has_five_tuple(self) -> bool:
-        """True when all five-tuple fields are pinned (possibly with
-        extra constraints) — such matches are hash-indexable per flow."""
-        return all(f in self.fields for f in FIVE_TUPLE)
+        return set(self.fields) == _FIVE_SET
 
     def five_tuple_key(self) -> Tuple:
+        if self._five_key is not None:
+            return self._five_key
         return tuple(self.fields[f] for f in FIVE_TUPLE)
 
     def matches(self, fields: Dict[str, object]) -> bool:
         """Whether a packet field view satisfies every constraint."""
-        for name, wanted in self.fields.items():
-            if fields.get(name) != wanted:
+        get = fields.get
+        for name, wanted in self._items:
+            if get(name) != wanted:
                 return False
         return True
 

@@ -1,0 +1,296 @@
+"""Scale scenario: a 500–1000-vSwitch overlay under flash-crowd load.
+
+``build_deployment`` couples the mesh size to the rack count (every rack
+carries a mesh vSwitch), which makes the O(mesh²) overlay tunnel fabric
+explode long before the vSwitch count gets interesting.  This module
+builds the shape the paper actually argues for at scale (§4.1, §6): a
+*moderate* fully-meshed overlay core (tens of mesh vSwitches — the
+elastic control-plane capacity) fronting *hundreds* of host vSwitches
+(one per tenant rack slice — where the east-west edge really lives).
+
+Topology::
+
+    client -- edge -- spine -- tor_k -- hv_i -- server_i   (i: 0..hosts)
+                         |       |
+                     (overlay)  mv_j                        (j: 0..mesh)
+
+The workload is a flash crowd: a steady base of new flows toward a set
+of popular services, then a configurable window in which the aggregate
+new-flow rate multiplies — the §1 motivating scenario where the
+physical switch's control path saturates and Scotch must spread
+Packet-Ins over the overlay.
+
+``run_scale`` is the engine's macro benchmark: it reports wall-clock,
+total events dispatched (``Simulator.events_fired``) and events/sec
+separately for the build and run phases, plus peak RSS.
+``benchmarks/bench_scale_engine.py`` drives it and emits
+``BENCH_scale.json``; the CLI exposes it as ``repro scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.controller.controller import OpenFlowController
+from repro.core.app import ScotchApp
+from repro.core.config import ScotchConfig
+from repro.core.overlay import ScotchOverlay
+from repro.core.policy import PolicyRegistry
+from repro.net.host import Host
+from repro.net.topology import Network
+from repro.sim.engine import Simulator
+from repro.switch.profiles import OPEN_VSWITCH, PICA8_PRONTO_3780
+from repro.switch.switch import PhysicalSwitch, VSwitch
+from repro.testbed.deployment import FABRIC_BPS, HOST_BPS
+from repro.traffic import NewFlowSource
+
+
+@dataclass
+class ScaleDeployment:
+    """Handles to the scale topology."""
+
+    sim: Simulator
+    network: Network
+    controller: OpenFlowController
+    overlay: ScotchOverlay
+    scotch: ScotchApp
+    edge: PhysicalSwitch
+    spine: PhysicalSwitch
+    tors: List[PhysicalSwitch]
+    host_vswitches: List[VSwitch]
+    mesh_vswitches: List[VSwitch]
+    servers: List[Host]
+    targets: List[Host]
+    client: Host
+
+    @property
+    def vswitch_count(self) -> int:
+        return len(self.host_vswitches) + len(self.mesh_vswitches)
+
+
+@dataclass
+class ScaleResult:
+    """What one scale run measured."""
+
+    seed: int
+    vswitches: int
+    mesh: int
+    host_vswitches: int
+    tunnels: int
+    targets: int
+    duration: float
+    base_rate_fps: float
+    crowd_rate_fps: float
+    flows_started: int
+    client_failure: float
+    edge_punts: int
+    build_wall: float
+    build_events: int
+    run_wall: float
+    run_events: int
+    events_per_sec: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"scale: {self.vswitches} vSwitches ({self.mesh} mesh + "
+            f"{self.host_vswitches} host), {self.tunnels} tunnels, "
+            f"{self.flows_started} flows over {self.duration:.1f}s sim\n"
+            f"  build: {self.build_wall:.2f}s wall, {self.build_events} events\n"
+            f"  run:   {self.run_wall:.2f}s wall, {self.run_events} events "
+            f"-> {self.events_per_sec:,.0f} events/sec\n"
+            f"  client failure {self.client_failure:.4f}, "
+            f"edge punts {self.edge_punts}"
+        )
+
+
+def build_scale_overlay(
+    seed: int = 0,
+    host_vswitches: int = 480,
+    mesh: int = 24,
+    tors: int = 8,
+    targets: int = 16,
+    config: Optional[ScotchConfig] = None,
+) -> ScaleDeployment:
+    """Build the scale topology (``host_vswitches + mesh`` vSwitches).
+
+    ``targets`` of the servers are the flash-crowd services: they get
+    overlay delivery mappings (and hence delivery tunnels from every
+    mesh vSwitch); the remaining host vSwitches model idle tenants.
+    """
+    if host_vswitches < 1 or mesh < 2 or tors < 1:
+        raise ValueError("need host_vswitches >= 1, mesh >= 2, tors >= 1")
+    targets = min(targets, host_vswitches)
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    config = config or ScotchConfig()
+
+    edge = network.add(PhysicalSwitch(sim, "edge", PICA8_PRONTO_3780))
+    spine = network.add(PhysicalSwitch(sim, "spine", PICA8_PRONTO_3780))
+    network.link("edge", "spine", FABRIC_BPS)
+    client = network.add(Host(sim, "client", "10.20.0.1"))
+    network.link("client", "edge", HOST_BPS)
+
+    tor_switches: List[PhysicalSwitch] = []
+    for k in range(tors):
+        tor = network.add(PhysicalSwitch(sim, f"tor{k}", PICA8_PRONTO_3780))
+        network.link(tor.name, "spine", FABRIC_BPS)
+        tor_switches.append(tor)
+
+    overlay = ScotchOverlay(network, config)
+    mesh_switches: List[VSwitch] = []
+    for j in range(mesh):
+        mv = network.add(VSwitch(sim, f"mv{j}", OPEN_VSWITCH))
+        network.link(mv.name, tor_switches[j % tors].name, HOST_BPS)
+        mesh_switches.append(mv)
+        overlay.add_mesh_vswitch(mv.name)
+
+    hv_switches: List[VSwitch] = []
+    servers: List[Host] = []
+    for i in range(host_vswitches):
+        hv = network.add(VSwitch(sim, f"hv{i}", OPEN_VSWITCH))
+        network.link(hv.name, tor_switches[i % tors].name, HOST_BPS)
+        hv_switches.append(hv)
+        server = network.add(
+            Host(sim, f"server{i}", f"10.{1 + i // 200}.{i % 200}.10")
+        )
+        network.link(server.name, hv.name, HOST_BPS)
+        servers.append(server)
+
+    # Delivery mappings: the flash-crowd services plus the client (so
+    # reverse traffic over the overlay cannot strand).
+    for i in range(targets):
+        overlay.set_host_delivery(
+            servers[i].name, hv_switches[i].name, mesh_switches[i % mesh].name
+        )
+    overlay.set_host_delivery("client", None, mesh_switches[0].name)
+
+    for switch in [edge, spine] + tor_switches:
+        overlay.register_switch(switch.name)
+
+    controller = OpenFlowController(sim, network)
+    for node in network.nodes.values():
+        if isinstance(node, (PhysicalSwitch, VSwitch)):
+            controller.register_switch(node)
+
+    policy = PolicyRegistry(network, overlay)
+    scotch = ScotchApp(overlay, config=config, policy=policy)
+    controller.add_app(scotch)
+
+    return ScaleDeployment(
+        sim=sim,
+        network=network,
+        controller=controller,
+        overlay=overlay,
+        scotch=scotch,
+        edge=edge,
+        spine=spine,
+        tors=tor_switches,
+        host_vswitches=hv_switches,
+        mesh_vswitches=mesh_switches,
+        servers=servers,
+        targets=servers[:targets],
+        client=client,
+    )
+
+
+def run_scale(
+    seed: int = 0,
+    host_vswitches: int = 480,
+    mesh: int = 24,
+    tors: int = 8,
+    targets: int = 16,
+    duration: float = 5.0,
+    base_rate_fps: float = 20.0,
+    crowd_multiplier: float = 10.0,
+    crowd_at: float = 1.5,
+    crowd_until: float = 3.5,
+    config: Optional[ScotchConfig] = None,
+) -> ScaleResult:
+    """Build the scale overlay and run the flash crowd through it.
+
+    ``base_rate_fps`` is the per-target new-flow rate before/after the
+    crowd window; during ``[crowd_at, crowd_until)`` every target's rate
+    multiplies by ``crowd_multiplier``.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if crowd_multiplier < 1:
+        raise ValueError("crowd_multiplier must be >= 1")
+
+    build_start = perf_counter()
+    dep = build_scale_overlay(
+        seed=seed,
+        host_vswitches=host_vswitches,
+        mesh=mesh,
+        tors=tors,
+        targets=targets,
+        config=config,
+    )
+    sim = dep.sim
+    build_wall = perf_counter() - build_start
+    build_events = sim.events_fired
+
+    sources = [
+        NewFlowSource(sim, dep.client, target.ip, rate_fps=base_rate_fps,
+                      rng_name=f"scale:{target.name}")
+        for target in dep.targets
+    ]
+    for source in sources:
+        source.start(at=0.25, stop_at=duration - 0.25)
+
+    def crowd_on() -> None:
+        for source in sources:
+            source.rate_fps = base_rate_fps * crowd_multiplier
+
+    def crowd_off() -> None:
+        for source in sources:
+            source.rate_fps = base_rate_fps
+
+    if crowd_at < duration:
+        sim.schedule_at(crowd_at, crowd_on)
+        if crowd_until < duration:
+            sim.schedule_at(crowd_until, crowd_off)
+
+    run_start = perf_counter()
+    sim.run(until=duration)
+    run_wall = perf_counter() - run_start
+    run_events = sim.events_fired - build_events
+
+    # Multi-destination variant of client_flow_failure_fraction: a flow
+    # counts as failed when no target server ever saw it.
+    window_start, window_end = 0.5, duration - 0.5
+    sent = {
+        key
+        for key, record in dep.client.sent_tap.records.items()
+        if record.packets_sent > 0
+        and record.first_sent_at is not None
+        and window_start <= record.first_sent_at < window_end
+    }
+    arrived = set()
+    for target in dep.targets:
+        arrived |= target.recv_tap.received_flow_keys()
+    failure = (
+        sum(1 for key in sent if key not in arrived) / len(sent) if sent else 0.0
+    )
+    return ScaleResult(
+        seed=seed,
+        vswitches=dep.vswitch_count,
+        mesh=len(dep.mesh_vswitches),
+        host_vswitches=len(dep.host_vswitches),
+        tunnels=len(dep.overlay.fabric.tunnels),
+        targets=len(dep.targets),
+        duration=duration,
+        base_rate_fps=base_rate_fps,
+        crowd_rate_fps=base_rate_fps * crowd_multiplier,
+        flows_started=sum(s.flows_started for s in sources),
+        client_failure=failure,
+        edge_punts=dep.edge.datapath.punted,
+        build_wall=build_wall,
+        build_events=build_events,
+        run_wall=run_wall,
+        run_events=run_events,
+        events_per_sec=run_events / run_wall if run_wall > 0 else 0.0,
+    )

@@ -1,0 +1,23 @@
+"""Shared pytest configuration for the test suite.
+
+Pins Hypothesis to a deterministic profile by default: property tests
+run the same example sequence on every machine and in CI
+(``derandomize=True``), so a red build is reproducible by running the
+same command locally — no flaky shrink sessions.  Set
+``HYPOTHESIS_PROFILE=dev`` to explore with fresh random examples
+locally (e.g. before merging an engine change).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,199 @@
+"""Regenerate the golden-master fixtures (tests/golden/golden.json).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The fixtures pin the *observable behaviour* of the simulator on fixed
+seeds: SHA-256 digests of the control-path trace JSONL, the fault-action
+log JSONL and the alert timeline JSONL, plus the exact (bit-identical)
+model results of each golden workload.  ``tests/test_golden_master.py``
+recomputes all of them on every run and fails on any difference.
+
+The point: engine/datapath optimizations must be *behaviour preserving*.
+The checked-in fixtures were generated with the pre-optimization engine;
+any change to event ordering, RNG draw sequence, trace content or model
+arithmetic shows up as a digest mismatch.  Only regenerate after
+convincing yourself (and saying so in the commit message) that the
+behaviour change is intended — an unexplained digest change is a bug.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+GOLDEN_PATH = os.path.join(GOLDEN_DIR, "golden.json")
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Workload 1 — pure engine: scripted schedule/cancel/daemon torture
+# ----------------------------------------------------------------------
+def engine_workload() -> dict:
+    """A seeded, self-scheduling engine run that exercises timestamp
+    ties, same-time daemon coalescing, cancellation (before/at/after the
+    head), run-until resume and zero-delay self-scheduling.  The fired
+    sequence is the engine's externally observable contract."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator(seed=99)
+    rng = sim.rng.stream("golden")
+    fired = []
+    cancellable = []
+
+    def work(tag):
+        fired.append((round(sim.now, 9), tag))
+        if tag < 400:
+            # Quantized delays force plenty of exact timestamp ties.
+            delay = round(rng.expovariate(20.0), 2)
+            sim.schedule(delay, work, tag + 7)
+        if tag % 11 == 0:
+            event = sim.schedule(0.25, work, 1000 + tag)
+            cancellable.append(event)
+        if tag % 13 == 0 and cancellable:
+            cancellable.pop(0).cancel()
+        if tag % 17 == 0:
+            sim.schedule(0.0, work, 2000 + tag)  # same-instant follow-up
+
+    def tick():
+        fired.append((round(sim.now, 9), "daemon"))
+        sim.schedule(0.05, tick, daemon=True)
+
+    for tag in range(12):
+        sim.schedule(round(rng.random(), 2), work, tag)
+    sim.schedule(0.05, tick, daemon=True)
+    sim.run(until=1.0)
+    sim.run(until=3.0)  # resume must be seamless
+    for event in cancellable:
+        event.cancel()
+    final = sim.run(until=4.0)
+
+    digest = sha256_text(json.dumps(fired, separators=(",", ":")))
+    return {
+        "fired_sha256": digest,
+        "fired_count": len(fired),
+        "final_time": final,
+        "pending_after": sim.pending,
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload 2 — traced deployment run (trace JSONL must stay byte-stable)
+# ----------------------------------------------------------------------
+def traced_run(tmp_path: str) -> dict:
+    """A small flood-under-Scotch run with the tracer on; digests the
+    exported trace JSONL and pins the run's measured outcome."""
+    from repro.metrics.failure import client_flow_failure_fraction
+    from repro.obs import Observability, observed
+    from repro.testbed.deployment import build_deployment
+    from repro.traffic import NewFlowSource, SpoofedFlood
+
+    obs = Observability(trace=True, metrics=False)
+    with observed(obs):
+        dep = build_deployment(seed=7)
+        server_ip = dep.servers[0].ip
+        NewFlowSource(dep.sim, dep.client, server_ip, rate_fps=50.0).start(
+            at=0.5, stop_at=5.0)
+        SpoofedFlood(dep.sim, dep.attacker, server_ip, rate_fps=800.0).start(
+            at=1.0, stop_at=5.0)
+        dep.sim.run(until=6.0)
+
+    trace_path = os.path.join(tmp_path, "golden.trace.jsonl")
+    records = obs.tracer.export_jsonl(trace_path)
+    with open(trace_path, "rb") as handle:
+        trace_digest = hashlib.sha256(handle.read()).hexdigest()
+    os.unlink(trace_path)
+
+    failure = client_flow_failure_fraction(
+        dep.client.sent_tap, dep.servers[0].recv_tap, start=1.5, end=4.5)
+    return {
+        "trace_sha256": trace_digest,
+        "trace_records": records,
+        "model_results": {
+            "client_failure": failure,
+            "flows_started": len(dep.client.sent_tap.records),
+            "server_flows_received": len(dep.servers[0].recv_tap.records),
+            "edge_punted": dep.edge.datapath.punted,
+            "edge_processed": dep.edge.datapath.processed,
+            "attacker_sent": dep.attacker.sent_tap.total_packets,
+            "final_time": dep.sim.now,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload 3 — mini chaos run (fault log + alert timeline JSONL)
+# ----------------------------------------------------------------------
+def mini_chaos() -> dict:
+    """A compact chaos scenario: every JSONL the chaos/health stack
+    emits must stay byte-identical, and the recovery numbers
+    bit-identical."""
+    from repro.faults import FaultPlan, run_chaos
+
+    plan = FaultPlan()
+    plan.channel_loss(2.0, "edge", duration=1.0, loss=0.08, duplicate=0.02,
+                      jitter=0.5e-3, direction="both")
+    plan.ofa_stall(3.0, "mv1_0", duration=0.5)
+    plan.vswitch_crash(4.0, "mv0_0", down_for=1.0)
+    plan.controller_outage(5.5, duration=0.5)
+
+    report = run_chaos(seed=3, duration=9.0, client_rate=50.0,
+                       attack_rate=600.0, plan=plan, health=True)
+    return {
+        "fault_log_sha256": sha256_text(report.fault_log_jsonl),
+        "fault_actions": len(report.fault_log),
+        "alert_timeline_sha256": sha256_text(report.alert_timeline_jsonl),
+        "alert_transitions": len(report.alert_timeline),
+        "model_results": {
+            "failure_during_faults": report.failure_during_faults,
+            "failure_post_recovery": report.failure_post_recovery,
+            "flows_started": report.flows_started,
+            "faults_injected": report.faults_injected,
+            "failures_detected": report.failures_detected,
+            "recoveries_detected": report.recoveries_detected,
+            "resyncs": report.resyncs,
+            "reliable": report.reliable,
+            "channel_drops": report.channel_drops,
+            "channel_duplicates": report.channel_duplicates,
+            "violations": len(report.violations),
+        },
+    }
+
+
+def build_golden() -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return {
+            "_comment": "Golden-master fixtures. Regenerate ONLY for an "
+                        "intended behaviour change: "
+                        "PYTHONPATH=src python tests/golden/regen.py",
+            "engine": engine_workload(),
+            "traced_run": traced_run(tmp),
+            "mini_chaos": mini_chaos(),
+        }
+
+
+def main() -> int:
+    golden = build_golden()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for section, data in golden.items():
+        if isinstance(data, dict):
+            for key, value in data.items():
+                if key.endswith("sha256"):
+                    print(f"  {section}.{key} = {value[:16]}…")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Golden-master determinism tests.
+
+The fixtures in ``tests/golden/golden.json`` were generated with the
+pre-optimization engine (see ``tests/golden/regen.py``).  These tests
+recompute every digest and model result with the current code: the
+optimized hot path must produce byte-identical JSONL artifacts (engine
+fire sequence, control-path trace, fault log, alert timeline) and
+bit-identical model results on the same seeds.
+
+A failure here means observable behaviour drifted.  If the drift is
+*intended* (a deliberate semantic change, called out in the commit),
+regenerate with ``PYTHONPATH=src python tests/golden/regen.py``;
+otherwise it is a bug in whatever was just optimized.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden import regen
+
+pytestmark = pytest.mark.slow
+
+GOLDEN_PATH = regen.GOLDEN_PATH
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not os.path.exists(GOLDEN_PATH):
+        pytest.fail("tests/golden/golden.json missing — run "
+                    "`PYTHONPATH=src python tests/golden/regen.py`")
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def _assert_section(expected: dict, actual: dict, section: str) -> None:
+    mismatches = []
+    for key in expected:
+        if key not in actual:
+            mismatches.append(f"{section}.{key}: missing from recomputation")
+        elif actual[key] != expected[key]:
+            mismatches.append(
+                f"{section}.{key}: fixture {expected[key]!r} != "
+                f"recomputed {actual[key]!r}")
+    assert not mismatches, (
+        "golden-master drift (behaviour changed on a fixed seed):\n  "
+        + "\n  ".join(mismatches)
+        + "\nIf this change is intended, regenerate the fixtures with "
+          "`PYTHONPATH=src python tests/golden/regen.py` and explain the "
+          "drift in the commit message."
+    )
+
+
+def test_engine_fire_sequence_is_golden(golden):
+    _assert_section(golden["engine"], regen.engine_workload(), "engine")
+
+
+def test_trace_jsonl_is_byte_identical(golden, tmp_path):
+    _assert_section(golden["traced_run"], regen.traced_run(str(tmp_path)),
+                    "traced_run")
+
+
+def test_chaos_fault_and_alert_jsonl_are_byte_identical(golden):
+    _assert_section(golden["mini_chaos"], regen.mini_chaos(), "mini_chaos")

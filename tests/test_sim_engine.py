@@ -161,6 +161,28 @@ def test_peek_discard_keeps_foreground_accounting():
     assert sim.now == 0.0
 
 
+def test_cancel_settles_foreground_accounting_without_peek():
+    # Regression (companion to the peek() fix above): cancel() itself
+    # settles the foreground-pending count at cancel time, so a later
+    # un-horizoned run() stops immediately even if nothing ever called
+    # peek() to garbage-collect the tombstone.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) < 50:  # cap the fallout if the accounting is wrong
+            sim.schedule(1.0, tick, daemon=True)
+
+    sim.schedule(0.5, tick, daemon=True)
+    sim.run()  # no horizon + only daemon work left -> must stop at once
+    assert ticks == []
+    assert sim.now == 0.0
+    assert sim.pending == 1  # the daemon tick is still live, just parked
+
+
 def test_peek_discard_then_new_work_still_runs():
     sim = Simulator()
     sim.schedule(1.0, lambda: None).cancel()

@@ -55,6 +55,103 @@ def test_clock_is_monotone_and_matches_last_event(operations):
         assert sim.now == times[-1]
 
 
+@given(schedules())
+@settings(max_examples=100, deadline=None)
+def test_cancel_settles_accounting_immediately(operations):
+    """``pending`` drops the moment an event is cancelled (no deferred
+    tombstone sweep), cancelling twice is a no-op, and a full run fires
+    exactly the live events and drains every counter."""
+    sim = Simulator()
+    events = [sim.schedule(delay, lambda: None) for delay, _ in operations]
+    live = len(events)
+    for event, (_, cancel) in zip(events, operations):
+        if cancel:
+            event.cancel()
+            event.cancel()  # idempotent: settles accounting only once
+            live -= 1
+        assert sim.pending == live
+    # The calendar may still hold the tombstones (GC is lazy)…
+    assert sim.heap_depth >= sim.pending
+    sim.run()
+    # …but a run fires exactly the live events, and peek garbage-collects
+    # any trailing tombstones the run had no reason to consume.
+    assert sim.events_fired == live
+    assert sim.pending == 0
+    assert sim.peek() is None
+    assert sim.heap_depth == 0
+
+
+@given(schedules())
+@settings(max_examples=100, deadline=None)
+def test_cancelled_events_never_hold_peek_or_run(operations):
+    """``peek`` skips cancelled heads and ``run`` stops at the last
+    *live* event — tombstones are invisible to both."""
+    sim = Simulator()
+    events = [sim.schedule(delay, lambda: None) for delay, _ in operations]
+    live_times = []
+    for event, (_, cancel) in zip(events, operations):
+        if cancel:
+            event.cancel()
+        else:
+            live_times.append(event.time)
+    assert sim.peek() == (min(live_times) if live_times else None)
+    assert sim.pending == len(live_times)  # peek's GC never touches accounting
+    final = sim.run()
+    assert final == (max(live_times) if live_times else 0.0)
+
+
+@given(st.lists(st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0]), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_same_time_events_share_a_slot(times):
+    """Same-timestamp events coalesce into one calendar slot: the heap
+    holds one entry per distinct time, never one per event."""
+    sim = Simulator()
+    fired = []
+    for index, time in enumerate(times):
+        sim.schedule(time, lambda i=index: fired.append(i))
+    assert len(sim._heap) == len(set(times))
+    assert sim.heap_depth == len(times)
+    sim.run()
+    assert fired == [i for i, _ in sorted(enumerate(times), key=lambda p: (p[1], p[0]))]
+    assert sim.now == max(times)
+
+
+@given(schedules(), st.lists(st.booleans(), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_run_stops_when_only_daemons_remain(operations, daemon_flags):
+    """A horizonless run fires events in order until no live foreground
+    work remains; daemon housekeeping past that point never fires."""
+    flags = [daemon_flags[i % len(daemon_flags)] for i in range(len(operations))]
+    sim = Simulator()
+    fired = []
+    events = []
+    for index, ((delay, _), daemon) in enumerate(zip(operations, flags)):
+        events.append(
+            sim.schedule(delay, lambda i=index: fired.append(i), daemon=daemon)
+        )
+    for event, (_, cancel) in zip(events, operations):
+        if cancel:
+            event.cancel()
+    sim.run()
+
+    # Reference model: walk (time, scheduling order); stop as soon as no
+    # live foreground event is left ahead; cancelled events are silent.
+    order = sorted(range(len(events)), key=lambda i: (events[i].time, i))
+    remaining_fg = sum(
+        1 for (_, cancel), daemon in zip(operations, flags) if not cancel and not daemon
+    )
+    expected = []
+    for i in order:
+        if remaining_fg == 0:
+            break
+        if operations[i][1]:
+            continue
+        expected.append(i)
+        if not flags[i]:
+            remaining_fg -= 1
+    assert fired == expected
+
+
 @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=20),
        st.integers(min_value=1, max_value=10))
 @settings(max_examples=100, deadline=None)

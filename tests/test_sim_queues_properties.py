@@ -1,0 +1,111 @@
+"""Property tests for :mod:`repro.sim.queues`.
+
+Pins the queueing contracts the switch model leans on: FIFO order even
+when producers fire at identical simulation timestamps (the engine's
+same-time coalescing must not reorder them), bounded-capacity drop
+accounting, and round-robin service that matches the documented
+reference semantics (rotation in registration order, resuming after the
+last served key).
+"""
+
+from collections import deque
+
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import BoundedQueue, RoundRobinScheduler
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([0.0, 0.5, 1.0]), st.integers(0, 9)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_queue_is_fifo_under_same_time_events(pushes):
+    """Pushes scheduled at the same timestamp land in scheduling order:
+    popping returns a stable sort of the items by push time."""
+    sim = Simulator()
+    queue = BoundedQueue()
+    for time, item in pushes:
+        sim.schedule_at(time, queue.push, item)
+    sim.run()
+    expected = [item for _, item in sorted(pushes, key=lambda push: push[0])]
+    assert [queue.pop() for _ in range(len(pushes))] == expected
+
+
+@given(st.integers(1, 5), st.lists(st.integers(0, 9), max_size=15))
+def test_bounded_queue_drops_beyond_capacity(capacity, items):
+    queue = BoundedQueue(capacity)
+    results = [queue.offer(item) for item in items]
+    kept = min(len(items), capacity)
+    assert results == [True] * kept + [False] * (len(items) - kept)
+    assert len(queue) == kept
+    assert queue.enqueued == kept
+    assert queue.dropped == len(items) - kept
+    assert list(queue) == items[:kept]  # the FIFO prefix survives
+
+
+@st.composite
+def round_robin_ops(draw):
+    queue_count = draw(st.integers(1, 5))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.integers(0, queue_count - 1),
+                    st.integers(0, 9),
+                ),
+                st.tuples(st.just("pop"), st.just(0), st.just(0)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return queue_count, ops
+
+
+@given(round_robin_ops())
+def test_round_robin_matches_reference_model(args):
+    """The position-indexed scheduler behaves exactly like the naive
+    reference: scan registration order starting after the last served
+    key, serve the first non-empty queue."""
+    queue_count, ops = args
+    scheduler = RoundRobinScheduler()
+    for key in range(queue_count):
+        scheduler.add_queue(key, BoundedQueue())
+
+    model = {key: deque() for key in range(queue_count)}
+    last_served = None
+    for op, key, item in ops:
+        if op == "push":
+            scheduler.get_queue(key).push(item)
+            model[key].append(item)
+        else:
+            start = 0 if last_served is None else last_served + 1
+            expected = None
+            for offset in range(queue_count):
+                candidate = (start + offset) % queue_count
+                if model[candidate]:
+                    last_served = candidate
+                    expected = (candidate, model[candidate].popleft())
+                    break
+            assert scheduler.pop_next() == expected
+    assert scheduler.total_backlog() == sum(len(q) for q in model.values())
+
+
+@given(st.integers(2, 6), st.integers(1, 4))
+def test_round_robin_serves_each_nonempty_queue_once_per_cycle(queue_count, rounds):
+    """Fairness: while every queue stays non-empty, each cycle of
+    ``queue_count`` pops serves every queue exactly once."""
+    scheduler = RoundRobinScheduler()
+    for key in range(queue_count):
+        scheduler.add_queue(key, BoundedQueue())
+        for round_index in range(rounds):
+            scheduler.get_queue(key).push((key, round_index))
+    served = [scheduler.pop_next()[0] for _ in range(queue_count * rounds)]
+    for cycle in range(rounds):
+        window = served[cycle * queue_count:(cycle + 1) * queue_count]
+        assert sorted(window) == list(range(queue_count))
