@@ -19,10 +19,23 @@ def test_chaos_recovery(emit):
         lambda: [run_chaos(seed=seed) for seed in SEEDS], warmup=0, repeats=1
     )
     reports = timing["result"]
+    # The provenance + flight-recorder overhead contract
+    # (docs/observability.md#causality--flight-recorder): the same
+    # gauntlet with postmortem instrumentation on, so the fractional
+    # cost of causal provenance rides in the tracked BENCH_ file.
+    instrumented = measure(
+        lambda: [run_chaos(seed=seed, postmortem=True) for seed in SEEDS],
+        warmup=0, repeats=1,
+    )
+    overhead = (instrumented["median"] - timing["median"]) / timing["median"]
     emit_bench("chaos", timing, workload={
         "seeds": list(SEEDS),
         "faults_injected": sum(r.faults_injected for r in reports),
         "flows_started": sum(r.flows_started for r in reports),
+        "postmortem_median_s": instrumented["median"],
+        "postmortem_overhead": round(overhead, 4),
+        "postmortem_bundles": sum(
+            len(r.postmortems) for r in instrumented["result"]),
     })
     emit(
         "chaos_recovery",

@@ -256,10 +256,14 @@ def _load_rules(path: Optional[str]):
 def _write_health_outputs(args, report) -> None:
     """Shared by `chaos` and `health`: the optional alert-timeline JSONL
     and HTML report files."""
+    from repro.obs.schema import write_schema_header
+
     if getattr(args, "alert_log", None):
         with open(args.alert_log, "w") as handle:
+            write_schema_header(handle, "alert_timeline")
             text = report.alert_timeline_jsonl
-            handle.write(text + "\n" if text else text)
+            if text:
+                handle.write(text + "\n")
         print(f"alert timeline: {len(report.alert_timeline)} transitions "
               f"-> {args.alert_log}")
     if getattr(args, "health_report", None):
@@ -277,6 +281,14 @@ def _write_health_outputs(args, report) -> None:
         with open(args.scorecard_json, "w") as handle:
             handle.write(scorecard_json(report.scorecard) + "\n")
         print(f"scorecard -> {args.scorecard_json}")
+    if getattr(args, "postmortem_dir", None) and report.postmortem_enabled:
+        from repro.obs.postmortem import export_bundles
+
+        paths = export_bundles(report.postmortems, args.postmortem_dir)
+        dropped = (f" ({report.postmortems_dropped} past the cap dropped)"
+                   if report.postmortems_dropped else "")
+        print(f"postmortems: {len(paths)} bundles -> "
+              f"{args.postmortem_dir}{dropped}")
 
 
 def cmd_chaos(args) -> int:
@@ -308,11 +320,16 @@ def cmd_chaos(args) -> int:
         plan=default_plan(args.duration),
         health=not args.no_health,
         rules=rules,
+        postmortem=bool(args.postmortem_dir),
     )
     _print(format_report(report))
     if args.fault_log:
+        from repro.obs.schema import write_schema_header
+
         with open(args.fault_log, "w") as handle:
-            handle.write(report.fault_log_jsonl + "\n")
+            write_schema_header(handle, "fault_log")
+            if report.fault_log_jsonl:
+                handle.write(report.fault_log_jsonl + "\n")
         print(f"fault log: {len(report.fault_log)} actions -> {args.fault_log}")
     _write_health_outputs(args, report)
     return 0 if report.healthy else 1
@@ -346,6 +363,7 @@ def cmd_health(args) -> int:
         health=True,
         rules=rules,
         detection_tolerance=args.tolerance,
+        postmortem=bool(args.postmortem_dir),
     )
     _print(format_health_report(report.sli_series, report.alert_timeline,
                                 run_end=report.duration, truth=report.truth))
@@ -391,23 +409,77 @@ def cmd_scale(args) -> int:
     return 0
 
 
+def _print_postmortem_summary(path: str, summary) -> None:
+    from repro.obs.critpath import attribution_rows, format_tree
+
+    trigger = summary["trigger"]
+    rows = [["time (s)", trigger.get("t")], ["kind", trigger.get("kind")],
+            ["name", trigger.get("name")], ["event", trigger.get("event")]]
+    rows += sorted(trigger.get("detail", {}).items())
+    rows += sorted(summary["context"].items())
+    _print(format_table(["field", "value"], rows,
+                        title=f"Postmortem bundle — {path}"))
+    if summary["alerts_firing"]:
+        _print(format_table(
+            ["alert", "since (s)"],
+            [[a["alert"], a["since"]] for a in summary["alerts_firing"]],
+            title="Alerts firing at trigger"))
+    if summary["faults_open"]:
+        _print(format_table(
+            ["fault", "target", "since (s)"],
+            [[f["kind"], f["target"], f["since"]]
+             for f in summary["faults_open"]],
+            title="Faults open at trigger"))
+    if summary["bundle"]["ancestry"]:
+        _print(format_table(
+            ["depth", "event", "t (s)", "callback"],
+            [[depth, f"({a['run']},{a['seq']})", a["t"], a["callback"]]
+             for depth, a in enumerate(summary["bundle"]["ancestry"])],
+            title="Causal ancestry (newest first)"))
+    if summary["metric_deltas"]:
+        _print(format_table(
+            ["counter", "delta"], sorted(summary["metric_deltas"].items()),
+            title="Metric deltas (flight window)"))
+    if summary["attribution"]["journeys"]:
+        _print(format_table(
+            ["stage", "count", "total (s)", "share", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "max (ms)"],
+            attribution_rows(summary["attribution"]),
+            title="Flight-window latency attribution"))
+        if summary["longest"] is not None:
+            _print(format_tree(summary["longest"]))
+    print(f"ancestry: {summary['ancestry_depth']} events  "
+          f"flight: {summary['flight_events']} events, "
+          f"{summary['flight_spans']} spans")
+
+
 def cmd_inspect(args) -> int:
     """Summarize a JSONL file: traces get per-stage latency percentiles
-    and routes, metrics files (auto-detected) get final instrument values
-    and histogram quantiles."""
+    and routes (plus critical-path attribution when the trace carries
+    causality ids), metrics files get final instrument values and
+    histogram quantiles; fault logs, alert timelines and postmortem
+    bundles are sniffed from their schema headers."""
     from repro.obs.inspect import (
         histogram_rows,
         instrument_rows,
         sniff_kind,
         stage_rows,
+        summarize_alert_timeline,
+        summarize_fault_log,
         summarize_metrics,
+        summarize_postmortem,
         summarize_trace,
     )
 
+    summarizers = {
+        "metrics": summarize_metrics,
+        "fault_log": summarize_fault_log,
+        "alert_timeline": summarize_alert_timeline,
+        "postmortem": summarize_postmortem,
+    }
     try:
         kind = sniff_kind(args.trace)
-        summary = (summarize_metrics if kind == "metrics"
-                   else summarize_trace)(args.trace)
+        summary = summarizers.get(kind, summarize_trace)(args.trace)
     except OSError as exc:
         print(f"cannot read trace: {exc}", file=sys.stderr)
         return 2
@@ -432,17 +504,109 @@ def cmd_inspect(args) -> int:
         print(f"records: {summary['records']}  samples: {summary['samples']} "
               f"({summary['sampled_names']} instruments, {span_text})")
         return 0
+    if kind == "fault_log":
+        rows = [[kind_, phase, count]
+                for kind_, phases in summary["kinds"].items()
+                for phase, count in phases.items()]
+        _print(format_table(["fault", "phase", "count"], rows,
+                            title=f"Fault log — {args.trace}"))
+        span = summary["span"]
+        span_text = "-" if span is None else f"{span[0]:.2f}s .. {span[1]:.2f}s"
+        print(f"actions: {summary['records']}  ({span_text})")
+        return 0
+    if kind == "alert_timeline":
+        rows = [[alert, state, count]
+                for alert, states in summary["alerts"].items()
+                for state, count in states.items()]
+        _print(format_table(["alert", "state", "count"], rows,
+                            title=f"Alert timeline — {args.trace}"))
+        span = summary["span"]
+        span_text = "-" if span is None else f"{span[0]:.2f}s .. {span[1]:.2f}s"
+        print(f"transitions: {summary['records']}  ({span_text})")
+        return 0
+    if kind == "postmortem":
+        _print_postmortem_summary(args.trace, summary)
+        return 0
     _print(format_table(
         ["stage", "count", "mean (ms)", "p50 (ms)", "p99 (ms)", "max (ms)"],
         stage_rows(summary),
         title=f"Trace summary — {args.trace}",
     ))
+    if summary["causality"]:
+        from repro.obs.critpath import attribution_rows, format_tree
+
+        _print(format_table(
+            ["stage", "count", "total (s)", "share", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "max (ms)"],
+            attribution_rows(summary["attribution"]),
+            title="Packet-In latency attribution (causality trace)",
+        ))
+        if summary["longest"] is not None:
+            _print(format_tree(summary["longest"]))
+        recon = summary["attribution"]["reconciliation"]
+        print(f"attribution: {summary['attribution']['journeys']} journeys, "
+              f"{summary['attribution']['total_s']:.6f} s total, "
+              f"reconciliation max gap {recon['max_abs_gap_s']:.3e} s")
     pktin = summary["packet_in"]
     routes = ", ".join(f"{route}={count}" for route, count in pktin["routes"].items())
     print(f"records: {summary['records']}  spans: {summary['spans']}  "
           f"instants: {summary['instants']}  open spans: {summary['open_spans']}")
     print(f"Packet-In journeys: {pktin['count']}  via overlay relay: "
           f"{pktin['relayed']}  routes: {routes or '-'}")
+    return 0
+
+
+def cmd_postmortem(args) -> int:
+    """Render a postmortem bundle (or a causality trace): console
+    summary plus optional critical-path JSONL and a self-contained HTML
+    page (trigger context, ancestry, per-stage attribution)."""
+    from repro.obs.critpath import (
+        attribute,
+        longest_chain,
+        render_html,
+        report_jsonl,
+    )
+    from repro.obs.inspect import sniff_kind, summarize_postmortem
+
+    try:
+        kind = sniff_kind(args.bundle)
+    except OSError as exc:
+        print(f"cannot read bundle: {exc}", file=sys.stderr)
+        return 2
+    bundle = None
+    try:
+        if kind == "postmortem":
+            summary = summarize_postmortem(args.bundle)
+            bundle = summary["bundle"]
+            report, chain = summary["attribution"], summary["longest"]
+            title = (f"Postmortem — {bundle['trigger'].get('kind')} "
+                     f"{bundle['trigger'].get('name')}")
+            _print_postmortem_summary(args.bundle, summary)
+        elif kind == "trace":
+            from repro.obs.tracer import read_jsonl
+
+            records = read_jsonl(args.bundle)
+            report, chain = attribute(records), longest_chain(records)
+            title = f"Critical path — {args.bundle}"
+            print(f"{args.bundle}: trace with {report['journeys']} "
+                  f"Packet-In journeys")
+        else:
+            print(f"{args.bundle} is a {kind} file; postmortem wants a "
+                  f"bundle (chaos/health --postmortem-dir) or a "
+                  f"causality trace", file=sys.stderr)
+            return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"not a postmortem bundle: {args.bundle} ({exc})",
+              file=sys.stderr)
+        return 2
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(report_jsonl(report, chain))
+        print(f"critical-path report -> {args.jsonl}")
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html(report, chain, bundle, title=title))
+        print(f"postmortem page -> {args.html}")
     return 0
 
 
@@ -483,6 +647,12 @@ def _add_health_output_flags(parser: argparse.ArgumentParser) -> None:
                             "(SLI time series with alert/truth bands)")
     group.add_argument("--scorecard-json", metavar="FILE",
                        help="write the detection scorecard as JSON")
+    group.add_argument("--postmortem-dir", metavar="DIR",
+                       help="capture a postmortem bundle (causal ancestry, "
+                            "flight-recorder window, active alert/fault "
+                            "context) on every alert firing / invariant "
+                            "violation and write them under DIR; "
+                            "byte-identical across runs with equal seeds")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -509,6 +679,11 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="profile the engine (per-callback wall time, heap depth) "
              "and print the hot-callback table")
     group.add_argument(
+        "--causality", action="store_true",
+        help="record causal provenance (event parent ids) and stamp "
+             "span/journey ids on the trace, enabling per-stage "
+             "latency attribution in `inspect` / `postmortem`")
+    group.add_argument(
         "--manifest", metavar="FILE",
         help="write a reproducibility manifest (command, seed, config, "
              "switch profiles, output paths) to FILE")
@@ -527,6 +702,7 @@ def _wants_obs(args) -> bool:
         or getattr(args, "metrics", None)
         or getattr(args, "prom", None)
         or getattr(args, "profile", False)
+        or getattr(args, "causality", False)
         or getattr(args, "manifest", None)
     )
 
@@ -542,6 +718,7 @@ def _run_observed(args, argv: Optional[List[str]]) -> int:
         metrics=bool(args.metrics or args.prom),
         profile=args.profile,
         sample_interval=args.sample_interval,
+        causality=args.causality,
     )
     with observed(obs):
         status = args.func(args)
@@ -695,10 +872,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser(
         "inspect",
-        help="summarize a JSONL trace (stage p50/p99, routes) or metrics "
-             "file (instrument finals, histogram quantiles)")
+        help="summarize a JSONL trace (stage p50/p99, routes), metrics "
+             "file (instrument finals, histogram quantiles), fault log, "
+             "alert timeline or postmortem bundle")
     inspect.add_argument("trace", help="file written by --trace or --metrics")
     inspect.set_defaults(func=cmd_inspect)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a postmortem bundle (chaos/health --postmortem-dir) "
+             "or causality trace: trigger context, causal ancestry, "
+             "per-stage latency attribution, longest chain")
+    postmortem.add_argument("bundle",
+                            help="a postmortem-*.jsonl bundle or a "
+                                 "--trace --causality JSONL file")
+    postmortem.add_argument("--jsonl", metavar="FILE",
+                            help="write the critical-path report as JSONL")
+    postmortem.add_argument("--html", metavar="FILE",
+                            help="write a self-contained HTML postmortem page")
+    postmortem.set_defaults(func=cmd_postmortem)
     return parser
 
 

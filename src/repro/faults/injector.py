@@ -203,5 +203,23 @@ class FaultInjector:
                            target=event.target, phase=phase)
 
     def log_jsonl(self) -> str:
-        """The fault log as JSON lines — byte-identical for equal seeds."""
+        """The fault log as JSON lines — byte-identical for equal seeds.
+
+        Deliberately headerless: this string is the determinism
+        comparison unit (chaos soak, golden masters).  File exports get
+        the schema header via :meth:`export_jsonl`.
+        """
         return "\n".join(json.dumps(entry, sort_keys=False) for entry in self.log)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the fault log to ``path`` behind the ``fault_log``
+        schema header; returns the action count."""
+        from repro.obs.schema import write_schema_header
+
+        text = self.log_jsonl()
+        with open(path, "w") as handle:
+            write_schema_header(handle, "fault_log")
+            handle.write(text)
+            if text:
+                handle.write("\n")
+        return len(self.log)

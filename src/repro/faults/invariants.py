@@ -82,6 +82,9 @@ class InvariantChecker:
         self.grace = grace if grace is not None else grace_window(overlay.config)
         self.backlog_limit = backlog_limit
         self.violations: List[Violation] = []
+        #: Called with each :class:`Violation` as it is recorded — the
+        #: postmortem collector's trigger feed.  Observers only.
+        self.on_violation: Optional[object] = None
         self.checks_run = 0
         #: (switch, bucket label) -> sim time the stale bucket was first
         #: seen; cleared when the bucket heals.
@@ -117,11 +120,14 @@ class InvariantChecker:
         return self.violations[before:]
 
     def _violate(self, name: str, detail: str) -> None:
-        self.violations.append(Violation(self.sim.now, name, detail))
+        violation = Violation(self.sim.now, name, detail)
+        self.violations.append(violation)
         tracer = self.sim.obs.tracer
         if tracer.enabled:
             tracer.instant("invariant.violation", track="faults",
                            invariant=name, detail=detail)
+        if self.on_violation is not None:
+            self.on_violation(violation)
 
     # ------------------------------------------------------------------
     def _vswitch_live(self, name: str) -> bool:

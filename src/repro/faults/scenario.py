@@ -85,6 +85,10 @@ class ChaosReport:
     sli_series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     truth: List[TruthWindow] = field(default_factory=list)
     scorecard: Optional[Scorecard] = None
+    # -- postmortem bundles (docs/observability.md#postmortem-bundles) --
+    postmortem_enabled: bool = False
+    postmortems: List[Dict[str, object]] = field(default_factory=list)
+    postmortems_dropped: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -103,6 +107,7 @@ def run_chaos(
     rules: Optional[Sequence] = None,
     health_interval: float = 0.25,
     detection_tolerance: float = 1.0,
+    postmortem: bool = False,
 ) -> ChaosReport:
     """Run the chaos scenario and return its report.
 
@@ -112,6 +117,14 @@ def run_chaos(
     injector's ground truth.  The engine never mutates model state, so
     the fault log and the measured outcomes are identical either way
     (``tests/test_health_scorecard.py`` locks this in).
+
+    With ``postmortem=True`` the run also enables causal provenance and
+    a flight recorder, and a :class:`~repro.obs.postmortem.PostmortemCollector`
+    captures a bundle on every alert firing and invariant violation
+    (``report.postmortems``; export with
+    :func:`repro.obs.postmortem.export_bundles`).  The collector is
+    read-only, so the fault log and outcomes are again unchanged, and
+    same-seed bundles are byte-identical.
     """
     from repro.metrics.failure import client_flow_failure_fraction
     from repro.obs import Observability, get_default_obs, observed
@@ -139,6 +152,25 @@ def run_chaos(
                                mesh_per_rack=1, backups=1, config=config)
         server_ip = dep.servers[0].ip
 
+        flight = None
+        if postmortem and not dep.sim.provenance_enabled:
+            # The outer Observability may already have enabled both via
+            # causality=/flight=; otherwise instrument this run locally.
+            dep.sim.enable_provenance(run=0)
+        if postmortem:
+            outer_flight = getattr(get_default_obs(), "flight", None)
+            if outer_flight is not None:
+                flight = outer_flight
+            else:
+                from repro.obs.flight import FlightRecorder
+
+                flight = FlightRecorder()
+                flight.bind(dep.sim, run=0)
+                flight.attach_metrics(get_default_obs().metrics)
+                tracer = get_default_obs().tracer
+                if tracer.enabled and tracer.flight is None:
+                    tracer.flight = flight
+
         engine = None
         if health:
             from repro.obs.health import HealthEngine
@@ -161,6 +193,21 @@ def run_chaos(
         checker = InvariantChecker(dep.sim, dep.network, dep.overlay,
                                    scotch=dep.scotch, interval=invariant_interval)
         checker.start()
+
+        collector = None
+        if postmortem:
+            from repro.obs.postmortem import PostmortemCollector
+
+            collector = PostmortemCollector(
+                dep.sim, flight=flight, injector=injector,
+                context={
+                    "seed": seed, "duration": duration,
+                    "client_rate": client_rate, "attack_rate": attack_rate,
+                    "scenario": "chaos",
+                })
+            checker.on_violation = collector.on_violation
+            if engine is not None:
+                engine.on_transition = collector.on_alert
 
         dep.sim.run(until=duration)
         checker.check_now()
@@ -201,6 +248,14 @@ def run_chaos(
             scorecard=card,
         )
 
+    postmortem_fields: Dict[str, object] = {}
+    if collector is not None:
+        postmortem_fields = dict(
+            postmortem_enabled=True,
+            postmortems=list(collector.bundles),
+            postmortems_dropped=collector.dropped,
+        )
+
     reliable = dep.scotch.reliable
     heartbeat = dep.scotch.heartbeat
     channels = [h.channel for h in dep.controller.datapaths.values()]
@@ -233,6 +288,7 @@ def run_chaos(
         channel_duplicates=sum(c.to_switch_duplicated + c.to_controller_duplicated
                                for c in channels),
         **health_fields,
+        **postmortem_fields,
     )
 
 
@@ -275,6 +331,11 @@ def format_report(report: ChaosReport) -> str:
         firings = sum(s.firings for s in report.scorecard.rules.values())
         sections.append(f"alerts: {len(report.alert_timeline)} transitions, "
                         f"{firings} firings")
+    if report.postmortem_enabled:
+        dropped = (f" ({report.postmortems_dropped} past the cap)"
+                   if report.postmortems_dropped else "")
+        sections.append(f"postmortems: {len(report.postmortems)} bundles "
+                        f"captured{dropped}")
     verdict = "HEALTHY" if report.healthy else "DEGRADED"
     sections.append(f"verdict: {verdict} (post-recovery failure "
                     f"{report.failure_post_recovery:.2%}, "

@@ -77,11 +77,33 @@ class Observability:
         metrics: bool = True,
         profile: bool = False,
         sample_interval: Optional[float] = None,
+        causality: bool = False,
+        flight: Any = None,
     ):
         self.tracer = Tracer() if trace else NULL_TRACER
         self.metrics = MetricsRegistry() if metrics else NULL_METRICS
         self.profiler = EngineProfiler() if profile else None
         self.sample_interval = sample_interval
+        #: Thread causal provenance through every bound simulator and
+        #: stamp span/event ids on trace records (docs/observability.md
+        #: #causality--flight-recorder).
+        self.causality = causality
+        if self.tracer.enabled:
+            self.tracer.causality = causality
+        #: Flight recorder: pass True (default rings), an int (event
+        #: ring size) or a FlightRecorder instance; None disables.
+        if flight is True:
+            from repro.obs.flight import FlightRecorder
+            flight = FlightRecorder()
+        elif isinstance(flight, int) and not isinstance(flight, bool):
+            from repro.obs.flight import FlightRecorder
+            flight = FlightRecorder(events=flight)
+        self.flight = flight
+        if self.flight is not None:
+            if self.tracer.enabled:
+                self.tracer.flight = self.flight
+            if self.metrics.enabled:
+                self.flight.attach_metrics(self.metrics)
         self.samplers = []
         #: How many simulators have bound (the tracer's run index).
         self.runs = 0
@@ -93,6 +115,10 @@ class Observability:
         self.runs += 1
         if self.tracer.enabled:
             self.tracer.bind(sim, run=run)
+        if self.causality:
+            sim.enable_provenance(run=run)
+        if self.flight is not None:
+            self.flight.bind(sim, run=run)
         if self.profiler is not None:
             self.profiler.attach(sim)
         if self.metrics.enabled and self.sample_interval:

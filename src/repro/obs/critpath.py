@@ -1,0 +1,308 @@
+"""Critical-path analysis of Packet-In journeys (Scotch §4–5, Fig. 7).
+
+A causality-enabled trace (``Observability(causality=True)``) stamps a
+``journey`` arg on every control-path stage span pointing at its
+``packet_in`` journey span's id.  This module walks that DAG to answer
+the paper's question — *where* does Packet-In latency accrue — with
+per-stage attribution whose sums reconcile against the end-to-end span
+durations:
+
+* :func:`journeys` groups stage spans under their journey;
+* :func:`attribute` produces per-stage p50/p95/p99 plus each stage's
+  share of total journey time, with the sequencing gap between stages
+  reported explicitly as the ``(unattributed)`` pseudo-stage, so
+  ``sum(stage totals) == sum(journey durations)`` to float precision;
+* :func:`longest_chain` extracts the single slowest journey with its
+  ordered stages — the critical path a person should look at first.
+
+Rendered by ``scotch-repro inspect`` (attribution table + span tree)
+and ``scotch-repro postmortem`` (JSONL + self-contained HTML).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.stats import percentile
+from repro.obs.path import SPAN_PACKET_IN
+
+#: Name of the reconciliation pseudo-stage: journey time not covered by
+#: any stage span (queueing hand-offs, scheduling slack).
+UNATTRIBUTED = "(unattributed)"
+
+
+def journeys(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Group a causality trace into journey dicts.
+
+    Each completed ``packet_in`` span with an ``id`` becomes::
+
+        {"id", "run", "t0", "t1", "duration", "switch", "route",
+         "relay", "stages": [stage records sorted by (t0, id)]}
+
+    Journeys are returned in trace (completion) order; stage spans lacking
+    a known ``journey`` link are ignored, as are still-open spans.
+    """
+    by_id: Dict[Any, Dict[str, Any]] = {}
+    order: List[Dict[str, Any]] = []
+    for record in records:
+        if (record.get("type") == "span" and record.get("name") == SPAN_PACKET_IN
+                and record.get("id") is not None
+                and record.get("t1") is not None):
+            args = record.get("args", {})
+            journey = {
+                "id": record["id"],
+                "run": record.get("run", 0),
+                "t0": record["t0"],
+                "t1": record["t1"],
+                "duration": record["t1"] - record["t0"],
+                "switch": args.get("switch"),
+                "route": args.get("route", "open"),
+                "relay": args.get("relay"),
+                "stages": [],
+            }
+            by_id[(record.get("run", 0), record["id"])] = journey
+            order.append(journey)
+    for record in records:
+        if record.get("type") != "span" or record.get("t1") is None:
+            continue
+        link = record.get("args", {}).get("journey")
+        if link is None:
+            continue
+        journey = by_id.get((record.get("run", 0), link))
+        if journey is not None:
+            journey["stages"].append(record)
+    for journey in order:
+        journey["stages"].sort(key=lambda r: (r["t0"], r.get("id", 0)))
+    return order
+
+
+def has_causality(records: List[Dict[str, Any]]) -> bool:
+    """True when the trace carries span ids (a causality-enabled run)."""
+    return any(record.get("id") is not None for record in records
+               if record.get("type") == "span")
+
+
+def attribute(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-stage latency attribution over every journey in a trace.
+
+    Returns::
+
+        {
+          "journeys": N, "total_s": sum of journey durations,
+          "stages": {name: {"count", "total_s", "share",
+                            "p50_ms", "p95_ms", "p99_ms", "max_ms"}},
+          "reconciliation": {"max_abs_gap_s": ..., "negative_gaps": n},
+        }
+
+    ``stages`` includes the :data:`UNATTRIBUTED` pseudo-stage (one
+    sample per journey: the journey duration minus its stage-span sum),
+    which is what makes the stage totals reconcile exactly with the
+    end-to-end durations.
+    """
+    stage_samples: Dict[str, List[float]] = {}
+    total = 0.0
+    count = 0
+    max_gap = 0.0
+    negative = 0
+    for journey in journeys(records):
+        count += 1
+        duration = journey["duration"]
+        total += duration
+        covered = 0.0
+        for stage in journey["stages"]:
+            stage_s = stage["t1"] - stage["t0"]
+            covered += stage_s
+            stage_samples.setdefault(stage["name"], []).append(stage_s)
+        gap = duration - covered
+        if gap < 0:
+            negative += 1
+        if abs(gap) > max_gap:
+            max_gap = abs(gap)
+        stage_samples.setdefault(UNATTRIBUTED, []).append(gap)
+    stages = {}
+    for name in sorted(stage_samples):
+        samples = stage_samples[name]
+        stage_total = sum(samples)
+        stages[name] = {
+            "count": len(samples),
+            "total_s": stage_total,
+            "share": stage_total / total if total else 0.0,
+            "p50_ms": percentile(samples, 50) * 1e3,
+            "p95_ms": percentile(samples, 95) * 1e3,
+            "p99_ms": percentile(samples, 99) * 1e3,
+            "max_ms": max(samples) * 1e3,
+        }
+    return {
+        "journeys": count,
+        "total_s": total,
+        "stages": stages,
+        "reconciliation": {"max_abs_gap_s": max_gap,
+                           "negative_gaps": negative},
+    }
+
+
+def longest_chain(records: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The slowest journey, or None when the trace has no journeys."""
+    worst = None
+    for journey in journeys(records):
+        if worst is None or journey["duration"] > worst["duration"]:
+            worst = journey
+    return worst
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def attribution_rows(report: Dict[str, Any]) -> List[List[Any]]:
+    """Table rows: [stage, count, total s, share %, p50/p95/p99/max ms]."""
+    return [
+        [name, stats["count"], round(stats["total_s"], 6),
+         f"{stats['share'] * 100:.1f}%", round(stats["p50_ms"], 4),
+         round(stats["p95_ms"], 4), round(stats["p99_ms"], 4),
+         round(stats["max_ms"], 4)]
+        for name, stats in report["stages"].items()
+    ]
+
+
+def format_tree(journey: Dict[str, Any]) -> str:
+    """ASCII tree of one journey's stages (the `inspect` span tree)."""
+    header = (f"{SPAN_PACKET_IN} #{journey['id']} "
+              f"[{journey['t0']:.6f}s .. {journey['t1']:.6f}s] "
+              f"{journey['duration'] * 1e3:.3f} ms  "
+              f"switch={journey['switch']} route={journey['route']}")
+    if journey.get("relay"):
+        header += f" relay={journey['relay']}"
+    lines = [header]
+    stages = journey["stages"]
+    covered = 0.0
+    for index, stage in enumerate(stages):
+        stage_s = stage["t1"] - stage["t0"]
+        covered += stage_s
+        branch = "└─" if index == len(stages) - 1 else "├─"
+        lines.append(f"  {branch} {stage['name']:<22} "
+                     f"+{stage['t0'] - journey['t0']:.6f}s  "
+                     f"{stage_s * 1e3:.3f} ms")
+    gap = journey["duration"] - covered
+    lines.append(f"     {UNATTRIBUTED:<22} {gap * 1e3:>14.3f} ms")
+    return "\n".join(lines)
+
+
+def report_jsonl(report: Dict[str, Any],
+                 chain: Optional[Dict[str, Any]] = None) -> str:
+    """Attribution report as JSON lines (summary, then one line per
+    stage, then the longest chain when given)."""
+    lines = [json.dumps({"type": "critpath_summary",
+                         "journeys": report["journeys"],
+                         "total_s": report["total_s"],
+                         **report["reconciliation"]},
+                        sort_keys=True, separators=(",", ":"))]
+    for name, stats in report["stages"].items():
+        lines.append(json.dumps({"type": "critpath_stage", "stage": name,
+                                 **{k: stats[k] for k in sorted(stats)}},
+                                sort_keys=True, separators=(",", ":")))
+    if chain is not None:
+        plain = {k: v for k, v in chain.items() if k != "stages"}
+        plain["stages"] = [
+            {"name": s["name"], "t0": s["t0"], "t1": s["t1"]}
+            for s in chain["stages"]
+        ]
+        lines.append(json.dumps({"type": "critpath_longest", **plain},
+                                sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + "\n"
+
+
+def render_html(report: Dict[str, Any],
+                chain: Optional[Dict[str, Any]] = None,
+                bundle: Optional[Dict[str, Any]] = None,
+                title: str = "Postmortem") -> str:
+    """A self-contained HTML page: trigger context (when a bundle is
+    given), the per-stage attribution table with share bars, and the
+    longest-chain breakdown.  No external assets."""
+    esc = _html.escape
+
+    def table(headers: List[str], rows: List[List[Any]]) -> str:
+        head = "".join(f"<th>{esc(str(h))}</th>" for h in headers)
+        body = "\n".join(
+            "<tr>" + "".join(f"<td>{esc(str(cell))}</td>" for cell in row)
+            + "</tr>"
+            for row in rows)
+        return (f"<table><thead><tr>{head}</tr></thead>"
+                f"<tbody>{body}</tbody></table>")
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{esc(title)}</title>",
+        "<style>body{font:14px/1.5 -apple-system,Segoe UI,sans-serif;"
+        "margin:2em auto;max-width:64em;color:#222}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "td,th{border:1px solid #ccc;padding:.3em .6em;text-align:right}"
+        "th{background:#f4f4f4}td:first-child,th:first-child{text-align:left}"
+        ".bar{background:#4a90d9;height:.8em;display:inline-block}"
+        "pre{background:#f8f8f8;border:1px solid #ddd;padding:1em;"
+        "overflow-x:auto}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    if bundle is not None:
+        trigger = bundle.get("trigger", {})
+        parts.append("<h2>Trigger</h2>")
+        rows = [["time (s)", trigger.get("t")],
+                ["kind", trigger.get("kind")],
+                ["name", trigger.get("name")],
+                ["event", trigger.get("event")]]
+        for key, value in sorted(trigger.get("detail", {}).items()):
+            rows.append([key, value])
+        parts.append(table(["field", "value"], rows))
+        if bundle.get("alerts_firing"):
+            parts.append("<h2>Alerts firing</h2>")
+            parts.append(table(["alert", "since (s)"],
+                               [[a["alert"], a["since"]]
+                                for a in bundle["alerts_firing"]]))
+        if bundle.get("faults_open"):
+            parts.append("<h2>Faults open</h2>")
+            parts.append(table(["fault", "target", "since (s)"],
+                               [[f["kind"], f["target"], f["since"]]
+                                for f in bundle["faults_open"]]))
+        if bundle.get("ancestry"):
+            parts.append("<h2>Causal ancestry (newest first)</h2>")
+            parts.append(table(
+                ["depth", "event", "t (s)", "callback"],
+                [[depth, f"({a['run']},{a['seq']})", a["t"], a["callback"]]
+                 for depth, a in enumerate(bundle["ancestry"])]))
+        deltas = bundle.get("flight", {}).get("metric_deltas", {})
+        if deltas:
+            parts.append("<h2>Metric deltas (flight window)</h2>")
+            parts.append(table(["counter", "delta"],
+                               sorted(deltas.items())))
+    parts.append("<h2>Per-stage latency attribution</h2>")
+    if report["journeys"]:
+        rows_html = []
+        for name, stats in report["stages"].items():
+            width = max(1, int(round(stats["share"] * 200)))
+            rows_html.append(
+                f"<tr><td>{esc(name)}</td><td>{stats['count']}</td>"
+                f"<td>{stats['total_s']:.6f}</td>"
+                f"<td><span class='bar' style='width:{width}px'></span> "
+                f"{stats['share'] * 100:.1f}%</td>"
+                f"<td>{stats['p50_ms']:.4f}</td>"
+                f"<td>{stats['p95_ms']:.4f}</td>"
+                f"<td>{stats['p99_ms']:.4f}</td>"
+                f"<td>{stats['max_ms']:.4f}</td></tr>")
+        parts.append(
+            "<table><thead><tr><th>stage</th><th>count</th><th>total s</th>"
+            "<th>share</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>"
+            "<th>max ms</th></tr></thead><tbody>"
+            + "\n".join(rows_html) + "</tbody></table>")
+        parts.append(
+            f"<p>{report['journeys']} journeys, "
+            f"{report['total_s']:.6f} s total; reconciliation max gap "
+            f"{report['reconciliation']['max_abs_gap_s']:.3e} s.</p>")
+    else:
+        parts.append("<p>No completed Packet-In journeys in this window "
+                     "(causality tracing off, or none finished).</p>")
+    if chain is not None:
+        parts.append("<h2>Longest chain</h2>")
+        parts.append(f"<pre>{esc(format_tree(chain))}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -169,6 +169,10 @@ class HealthEngine:
         self.series: Dict[str, List[Tuple[float, float]]] = {
             spec.name: [] for spec in self.slis}
         self.timeline: List[Dict[str, object]] = []
+        #: Called with each appended timeline record (after the append);
+        #: how the postmortem collector sees firings the moment they
+        #: happen.  Must be read-only over the model.
+        self.on_transition: Optional[Any] = None
         self.ticks = 0
         self._running = False
         self._tick_event: Optional[Any] = None
@@ -212,7 +216,11 @@ class HealthEngine:
             self.series[name].append((round(now, 9), round(value, 9)))
         for state in self.states.values():
             value = values.get(state.rule.sli, 0.0)
-            self.timeline.extend(state.evaluate(now, value))
+            transitions = state.evaluate(now, value)
+            self.timeline.extend(transitions)
+            if self.on_transition is not None:
+                for record in transitions:
+                    self.on_transition(record)
         self.ticks += 1
         self._trim(now)
         self._tick_event = self.sim.schedule(self.interval, self._tick,
@@ -348,9 +356,13 @@ class HealthEngine:
         return _timeline_jsonl(self.timeline)
 
     def export_timeline(self, path: str) -> int:
-        """Write the timeline JSONL to ``path``; returns record count."""
+        """Write the timeline JSONL to ``path`` (behind the schema
+        header); returns the transition record count."""
+        from repro.obs.schema import write_schema_header
+
         text = self.timeline_jsonl()
         with open(path, "w") as handle:
+            write_schema_header(handle, "alert_timeline")
             handle.write(text)
             if text:
                 handle.write("\n")

@@ -6,8 +6,14 @@ per-stage latency percentiles for the control path, route outcomes of
 the Packet-In journeys, and how many rode the overlay relay.  Metrics
 files (:meth:`repro.obs.metrics.MetricsRegistry.export_jsonl` format)
 get their own summary: counter/gauge finals, histogram quantiles and
-the sampled time-series extent.  :func:`sniff_kind` tells the two
-apart from the first record.
+the sampled time-series extent.
+
+:func:`sniff_kind` classifies a file: the schema header
+(:mod:`repro.obs.schema`) settles it immediately for current exports;
+legacy headerless files fall back to record-shape detection.  Fault
+logs, alert timelines and postmortem bundles each get a light summary
+too, and causality-enabled traces additionally carry the critical-path
+attribution (:mod:`repro.obs.critpath`).
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.metrics.stats import mean, percentile
+from repro.obs.critpath import attribute, has_causality, longest_chain
 from repro.obs.metrics import bucket_quantile
 from repro.obs.metrics import read_jsonl as read_metrics_jsonl
 from repro.obs.path import SPAN_PACKET_IN
+from repro.obs.schema import sniff_schema
 from repro.obs.tracer import read_jsonl
 
 #: Record types written by MetricsRegistry.export_jsonl.
@@ -39,6 +47,9 @@ def summarize_trace(path: str) -> Dict[str, Any]:
           "records": int, "spans": int, "instants": int, "open_spans": int,
           "stages": {name: {"count", "mean_ms", "p50_ms", "p99_ms", "max_ms"}},
           "packet_in": {"count", "relayed", "routes": {route: count}},
+          "causality": bool,
+          # and, when causality is True:
+          "attribution": critpath.attribute(...), "longest": journey|None,
         }
     """
     records = read_jsonl(path)
@@ -73,7 +84,7 @@ def summarize_trace(path: str) -> Dict[str, Any]:
         }
         for name, values in sorted(durations.items())
     }
-    return {
+    summary = {
         "records": len(records),
         "spans": spans,
         "instants": instants,
@@ -81,7 +92,12 @@ def summarize_trace(path: str) -> Dict[str, Any]:
         "stages": stages,
         "packet_in": {"count": pktin_count, "relayed": relayed,
                       "routes": dict(sorted(routes.items()))},
+        "causality": has_causality(records),
     }
+    if summary["causality"]:
+        summary["attribution"] = attribute(records)
+        summary["longest"] = longest_chain(records)
+    return summary
 
 
 def stage_rows(summary: Dict[str, Any]) -> List[List[Any]]:
@@ -98,9 +114,15 @@ def stage_rows(summary: Dict[str, Any]) -> List[List[Any]]:
 # Metrics files
 # ----------------------------------------------------------------------
 def sniff_kind(path: str) -> str:
-    """Classify a JSONL file as ``"trace"`` or ``"metrics"`` from its
-    first non-blank record's ``type`` field (traces carry ``span`` /
-    ``instant``).  Empty files default to ``"trace"``."""
+    """Classify a JSONL file: ``"trace"``, ``"metrics"``,
+    ``"fault_log"``, ``"alert_timeline"`` or ``"postmortem"``.
+
+    A schema header (any current export) settles it from the first
+    line.  Headerless (legacy) files fall back to record-shape
+    detection; empty files default to ``"trace"``."""
+    header = sniff_schema(path)
+    if header is not None and header.get("schema"):
+        return str(header["schema"])
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -110,8 +132,18 @@ def sniff_kind(path: str) -> str:
                 record = json.loads(line)
             except ValueError:
                 return "trace"
-            kind = record.get("type") if isinstance(record, dict) else None
-            return "metrics" if kind in METRIC_RECORD_TYPES else "trace"
+            if not isinstance(record, dict):
+                return "trace"
+            kind = record.get("type")
+            if kind in METRIC_RECORD_TYPES:
+                return "metrics"
+            if kind == "trigger":
+                return "postmortem"
+            if "phase" in record and "target" in record:
+                return "fault_log"
+            if "alert" in record and "state" in record:
+                return "alert_timeline"
+            return "trace"
     return "trace"
 
 
@@ -191,3 +223,78 @@ def histogram_rows(summary: Dict[str, Any]) -> List[List[Any]]:
          fmt(stats["p99"]), fmt(stats["min"]), fmt(stats["max"])]
         for name, stats in summary["histograms"].items()
     ]
+
+
+# ----------------------------------------------------------------------
+# Fault logs, alert timelines, postmortem bundles
+# ----------------------------------------------------------------------
+def _payload_records(path: str) -> List[Dict[str, Any]]:
+    """Every JSON record in the file, schema header excluded."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if isinstance(record, dict) and record.get("type") != "schema":
+                records.append(record)
+    return records
+
+
+def summarize_fault_log(path: str) -> Dict[str, Any]:
+    """Fault-log summary: action count, time span, per-(kind, phase)
+    tallies."""
+    records = _payload_records(path)
+    by_kind: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        phases = by_kind.setdefault(str(record.get("kind")), {})
+        phase = str(record.get("phase"))
+        phases[phase] = phases.get(phase, 0) + 1
+    times = [record["t"] for record in records if "t" in record]
+    return {
+        "records": len(records),
+        "span": [min(times), max(times)] if times else None,
+        "kinds": {kind: dict(sorted(phases.items()))
+                  for kind, phases in sorted(by_kind.items())},
+    }
+
+
+def summarize_alert_timeline(path: str) -> Dict[str, Any]:
+    """Alert-timeline summary: transition count and per-alert
+    firing/resolve tallies."""
+    records = _payload_records(path)
+    by_alert: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        states = by_alert.setdefault(str(record.get("alert")), {})
+        state = str(record.get("state"))
+        states[state] = states.get(state, 0) + 1
+    times = [record["t"] for record in records if "t" in record]
+    return {
+        "records": len(records),
+        "span": [min(times), max(times)] if times else None,
+        "alerts": {alert: dict(sorted(states.items()))
+                   for alert, states in sorted(by_alert.items())},
+    }
+
+
+def summarize_postmortem(path: str) -> Dict[str, Any]:
+    """Postmortem-bundle summary: the trigger, the sizes of each
+    captured section, and the flight window's latency attribution."""
+    from repro.obs.postmortem import read_bundle
+
+    bundle = read_bundle(path)
+    flight = bundle["flight"]
+    return {
+        "bundle": bundle,
+        "trigger": bundle["trigger"],
+        "ancestry_depth": len(bundle["ancestry"]),
+        "flight_events": len(flight["events"]),
+        "flight_spans": len(flight["spans"]),
+        "metric_deltas": flight["metric_deltas"],
+        "alerts_firing": bundle["alerts_firing"],
+        "faults_open": bundle["faults_open"],
+        "context": bundle["context"],
+        "attribution": attribute(flight["spans"]),
+        "longest": longest_chain(flight["spans"]),
+    }

@@ -23,6 +23,8 @@ import json
 from bisect import bisect_left
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.schema import is_schema_record, write_schema_header
+
 #: Default histogram buckets for control-path latencies, seconds
 #: (100 µs .. 10 s, roughly logarithmic).
 LATENCY_BUCKETS_S: Tuple[float, ...] = (
@@ -191,9 +193,12 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------
     def export_jsonl(self, path: str) -> int:
-        """Write samples then final instrument states; returns line count."""
+        """Write samples then final instrument states (after the schema
+        header); returns the payload line count."""
         lines = 0
         with open(path, "w") as handle:
+            write_schema_header(handle, "metrics")
+
             def emit(record: Dict[str, Any]) -> None:
                 nonlocal lines
                 handle.write(json.dumps(record, sort_keys=True,
@@ -318,11 +323,15 @@ class MetricsSampler:
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load a metrics file exported by :meth:`MetricsRegistry.export_jsonl`."""
+    """Load a metrics file exported by
+    :meth:`MetricsRegistry.export_jsonl` (schema header skipped)."""
     out: List[Dict[str, Any]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
             if line:
-                out.append(json.loads(line))
+                record = json.loads(line)
+                if not is_schema_record(record):
+                    out.append(record)
     return out
+

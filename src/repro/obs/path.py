@@ -50,10 +50,17 @@ def punt_begin(obs: Any, packet: Any, switch: str, in_port: int, reason: str) ->
     if not tracer.enabled:
         return
     track = f"switch:{switch}"
-    packet.metadata[KEY_PKTIN] = tracer.begin(
+    pktin = tracer.begin(
         SPAN_PACKET_IN, track=track, switch=switch, in_port=in_port, reason=reason)
-    packet.metadata[KEY_STAGE] = tracer.begin(
-        SPAN_OFA_QUEUE, track=track, switch=switch)
+    packet.metadata[KEY_PKTIN] = pktin
+    if tracer.causality:
+        # Stage spans link back to their journey so the critical-path
+        # analyzer can walk the DAG under each packet_in (obs/critpath).
+        packet.metadata[KEY_STAGE] = tracer.begin(
+            SPAN_OFA_QUEUE, track=track, switch=switch, journey=pktin)
+    else:
+        packet.metadata[KEY_STAGE] = tracer.begin(
+            SPAN_OFA_QUEUE, track=track, switch=switch)
 
 
 def punt_dropped(obs: Any, packet: Any) -> None:
@@ -74,8 +81,13 @@ def packet_in_sent(obs: Any, packet: Any, switch: str) -> None:
     if not tracer.enabled:
         return
     tracer.end(packet.metadata.pop(KEY_STAGE, -1))
-    packet.metadata[KEY_STAGE] = tracer.begin(
-        SPAN_CHANNEL, track=f"switch:{switch}", switch=switch)
+    if tracer.causality:
+        packet.metadata[KEY_STAGE] = tracer.begin(
+            SPAN_CHANNEL, track=f"switch:{switch}", switch=switch,
+            journey=packet.metadata.get(KEY_PKTIN, -1))
+    else:
+        packet.metadata[KEY_STAGE] = tracer.begin(
+            SPAN_CHANNEL, track=f"switch:{switch}", switch=switch)
 
 
 def packet_in_received(obs: Any, packet: Any, dpid: str,
@@ -87,8 +99,13 @@ def packet_in_received(obs: Any, packet: Any, dpid: str,
     if not tracer.enabled:
         return
     tracer.end(packet.metadata.pop(KEY_STAGE, -1))
-    packet.metadata[KEY_HANDLE] = tracer.begin(
-        SPAN_HANDLE, track="controller", switch=dpid)
+    if tracer.causality:
+        packet.metadata[KEY_HANDLE] = tracer.begin(
+            SPAN_HANDLE, track="controller", switch=dpid,
+            journey=packet.metadata.get(KEY_PKTIN, -1))
+    else:
+        packet.metadata[KEY_HANDLE] = tracer.begin(
+            SPAN_HANDLE, track="controller", switch=dpid)
     if relayed:
         tracer.annotate(packet.metadata.get(KEY_PKTIN, -1), relay=dpid)
 

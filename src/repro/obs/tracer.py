@@ -28,12 +28,21 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from repro.obs.schema import is_schema_record, write_schema_header
+
 #: Instant-event scope in the Chrome format ("t" = thread).
 _CHROME_INSTANT_SCOPE = "t"
 
 
 class Tracer:
-    """Collects spans/instants across one or more bound simulators."""
+    """Collects spans/instants across one or more bound simulators.
+
+    With :attr:`causality` on (``Observability(causality=True)``) every
+    record additionally carries its span ``id`` and the ``(run, seq)``
+    id of the simulator event that produced it (``ev``), linking spans
+    into the engine's causal DAG; with it off (the default) records are
+    byte-identical to pre-causality traces.
+    """
 
     enabled = True
 
@@ -47,6 +56,13 @@ class Tracer:
         #: Index of the currently bound simulator (a figure sweep builds
         #: several); stamped on every record, mapped to a Chrome pid.
         self.run = -1
+        #: Stamp span ids + producing-event ids on records (see class
+        #: docstring); set by Observability, not flipped mid-run.
+        self.causality = False
+        #: A :class:`~repro.obs.flight.FlightRecorder` fed every
+        #: *completed* record, or None.
+        self.flight: Optional[Any] = None
+        self._sim: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Binding
@@ -55,6 +71,7 @@ class Tracer:
         """Attach to ``sim``'s clock; called by Observability.bind()."""
         self.run = (self.run + 1) if run is None else run
         self._now = lambda: sim.now
+        self._sim = sim
 
     # ------------------------------------------------------------------
     # Recording
@@ -64,7 +81,7 @@ class Tracer:
         """Open a span; returns its id for :meth:`end`/:meth:`annotate`."""
         span_id = self._next_id
         self._next_id += 1
-        self._open[span_id] = {
+        record: Dict[str, Any] = {
             "type": "span",
             "run": self.run,
             "name": name,
@@ -74,7 +91,18 @@ class Tracer:
             "t1": None,
             "args": dict(args),
         }
+        if self.causality:
+            record["id"] = span_id
+            record["ev"] = self._event_id()
+        self._open[span_id] = record
         return span_id
+
+    def _event_id(self) -> Optional[List[int]]:
+        sim = self._sim
+        if sim is None:
+            return None
+        ev = sim.current_event_id
+        return None if ev is None else [ev[0], ev[1]]
 
     def end(self, span_id: int, **args: Any) -> None:
         """Close a span (idempotent: unknown/already-closed ids are
@@ -86,6 +114,8 @@ class Tracer:
         if args:
             record["args"].update(args)
         self._records.append(record)
+        if self.flight is not None:
+            self.flight.record_span(record)
 
     def annotate(self, span_id: int, **args: Any) -> None:
         """Attach args to a still-open span."""
@@ -96,7 +126,7 @@ class Tracer:
     def instant(self, name: str, cat: str = "control", track: str = "main",
                 **args: Any) -> None:
         now = self._now()
-        self._records.append({
+        record: Dict[str, Any] = {
             "type": "instant",
             "run": self.run,
             "name": name,
@@ -105,7 +135,14 @@ class Tracer:
             "t0": now,
             "t1": now,
             "args": dict(args),
-        })
+        }
+        if self.causality:
+            record["id"] = self._next_id
+            self._next_id += 1
+            record["ev"] = self._event_id()
+        self._records.append(record)
+        if self.flight is not None:
+            self.flight.record_span(record)
 
     def elapsed(self, span_id: int) -> Optional[float]:
         """Simulation time since an open span began (None if unknown)."""
@@ -124,9 +161,11 @@ class Tracer:
         return out
 
     def export_jsonl(self, path: str) -> int:
-        """Write one record per line; returns the line count."""
+        """Write one record per line (after the schema header); returns
+        the payload record count."""
         records = self.records()
         with open(path, "w") as handle:
+            write_schema_header(handle, "trace")
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True,
                                         separators=(",", ":")))
@@ -174,11 +213,14 @@ def chrome_events(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load a trace exported by :meth:`Tracer.export_jsonl`."""
+    """Load a trace exported by :meth:`Tracer.export_jsonl` (the schema
+    header, when present, is skipped)."""
     out: List[Dict[str, Any]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
             if line:
-                out.append(json.loads(line))
+                record = json.loads(line)
+                if not is_schema_record(record):
+                    out.append(record)
     return out

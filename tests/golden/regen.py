@@ -134,8 +134,12 @@ def traced_run(tmp_path: str) -> dict:
 def mini_chaos() -> dict:
     """A compact chaos scenario: every JSONL the chaos/health stack
     emits must stay byte-identical, and the recovery numbers
-    bit-identical."""
+    bit-identical.  Runs with ``postmortem=True`` — the collector is
+    read-only, so the fault/alert digests are the same either way (the
+    bit-identity contract) while the bundle digest pins the postmortem
+    format itself."""
     from repro.faults import FaultPlan, run_chaos
+    from repro.obs.postmortem import bundle_jsonl
 
     plan = FaultPlan()
     plan.channel_loss(2.0, "edge", duration=1.0, loss=0.08, duplicate=0.02,
@@ -145,12 +149,16 @@ def mini_chaos() -> dict:
     plan.controller_outage(5.5, duration=0.5)
 
     report = run_chaos(seed=3, duration=9.0, client_rate=50.0,
-                       attack_rate=600.0, plan=plan, health=True)
+                       attack_rate=600.0, plan=plan, health=True,
+                       postmortem=True)
     return {
         "fault_log_sha256": sha256_text(report.fault_log_jsonl),
         "fault_actions": len(report.fault_log),
         "alert_timeline_sha256": sha256_text(report.alert_timeline_jsonl),
         "alert_transitions": len(report.alert_timeline),
+        "postmortem_sha256": sha256_text(
+            "".join(bundle_jsonl(b) for b in report.postmortems)),
+        "postmortem_bundles": len(report.postmortems),
         "model_results": {
             "failure_during_faults": report.failure_during_faults,
             "failure_post_recovery": report.failure_post_recovery,
@@ -178,7 +186,17 @@ def build_golden() -> dict:
             "engine": engine_workload(),
             "traced_run": traced_run(tmp),
             "mini_chaos": mini_chaos(),
+            "schemas": schema_versions(),
         }
+
+
+def schema_versions() -> dict:
+    """Pin every JSONL schema version: bumping one in
+    repro.obs.schema without regenerating here is a test failure, so
+    format changes stay deliberate."""
+    from repro.obs.schema import SCHEMA_VERSIONS
+
+    return dict(sorted(SCHEMA_VERSIONS.items()))
 
 
 def main() -> int:

@@ -223,7 +223,116 @@ def test_health_command_full_run(capsys, tmp_path):
     assert "-> OK" in out
     lines = alert_log.read_text().strip().splitlines()
     assert len(lines) > 5
-    assert all(json.loads(line)["alert"] for line in lines)
+    assert json.loads(lines[0])["schema"] == "alert_timeline"
+    assert all(json.loads(line)["alert"] for line in lines[1:])
     assert html.read_text().startswith("<!DOCTYPE html")
     payload = json.loads(card.read_text())
     assert payload["recall"] == 1.0 and payload["precision"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# Postmortem bundles + causality inspection
+# ----------------------------------------------------------------------
+def _chaos_bundle_dir(tmp_path):
+    """A real (small) chaos run's exported postmortem bundles."""
+    from repro.faults import FaultPlan, run_chaos
+    from repro.obs.postmortem import export_bundles
+
+    plan = FaultPlan()
+    plan.channel_loss(1.5, "edge", duration=1.0, loss=0.08, duplicate=0.02,
+                      jitter=0.004)
+    plan.ofa_stall(3.0, "edge", duration=0.8)
+    report = run_chaos(seed=3, duration=6.0, client_rate=50.0,
+                       attack_rate=600.0, plan=plan, health=True,
+                       postmortem=True)
+    assert report.postmortems
+    return export_bundles(report.postmortems, str(tmp_path / "pm"))
+
+
+def test_postmortem_command_renders_jsonl_and_html(tmp_path, capsys):
+    import json
+
+    paths = _chaos_bundle_dir(tmp_path)
+    jsonl = tmp_path / "critpath.jsonl"
+    html = tmp_path / "postmortem.html"
+    assert main(["postmortem", paths[0],
+                 "--jsonl", str(jsonl), "--html", str(html)]) == 0
+    out = capsys.readouterr().out
+    assert "Postmortem bundle" in out
+    assert "Causal ancestry" in out
+    assert "ancestry:" in out and "flight:" in out
+    lines = [json.loads(line)
+             for line in jsonl.read_text().strip().splitlines()]
+    assert lines[0]["type"] == "critpath_summary"
+    page = html.read_text()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "Trigger" in page and "Per-stage latency attribution" in page
+
+
+def test_inspect_sniffs_postmortem_bundle(tmp_path, capsys):
+    paths = _chaos_bundle_dir(tmp_path)
+    assert main(["inspect", paths[0]]) == 0
+    out = capsys.readouterr().out
+    assert "Postmortem bundle" in out
+
+
+def test_postmortem_command_rejects_non_bundles(tmp_path, capsys):
+    from repro.obs.metrics import MetricsRegistry
+
+    path = tmp_path / "m.metrics.jsonl"
+    MetricsRegistry().export_jsonl(str(path))
+    assert main(["postmortem", str(path)]) == 2
+    assert "metrics" in capsys.readouterr().err
+    assert main(["postmortem", str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_postmortem_command_on_causality_trace(tmp_path, capsys):
+    from repro.obs import Observability, observed
+    from repro.testbed.single_switch import SERVER_IP, build_single_switch
+    from repro.traffic import NewFlowSource
+
+    obs = Observability(trace=True, metrics=False, causality=True)
+    with observed(obs):
+        bed = build_single_switch(seed=5)
+        NewFlowSource(bed.sim, bed.client, SERVER_IP, rate_fps=40.0).start(
+            at=0.2, stop_at=1.2)
+        bed.sim.run(until=2.0)
+    trace = tmp_path / "run.trace.jsonl"
+    obs.tracer.export_jsonl(str(trace))
+    html = tmp_path / "critpath.html"
+    assert main(["postmortem", str(trace), "--html", str(html)]) == 0
+    out = capsys.readouterr().out
+    assert "Packet-In journeys" in out
+    assert "Longest chain" in html.read_text()
+    # `inspect` on the same trace adds the attribution table + tree.
+    assert main(["inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Packet-In latency attribution" in out
+    assert "(unattributed)" in out
+    assert "reconciliation max gap" in out
+
+
+def test_inspect_fault_log_and_alert_timeline(tmp_path, capsys):
+    import json
+
+    fault_log = tmp_path / "faults.jsonl"
+    with open(fault_log, "w") as handle:
+        handle.write(json.dumps({"type": "schema", "schema": "fault_log",
+                                 "version": 1}) + "\n")
+        handle.write(json.dumps({"t": 1.0, "kind": "ofa_stall",
+                                 "target": "edge", "phase": "inject"}) + "\n")
+        handle.write(json.dumps({"t": 2.0, "kind": "ofa_stall",
+                                 "target": "edge", "phase": "clear"}) + "\n")
+    assert main(["inspect", str(fault_log)]) == 0
+    out = capsys.readouterr().out
+    assert "Fault log" in out and "ofa_stall" in out and "actions: 2" in out
+
+    timeline = tmp_path / "alerts.jsonl"
+    with open(timeline, "w") as handle:
+        handle.write(json.dumps({"type": "schema", "schema": "alert_timeline",
+                                 "version": 1}) + "\n")
+        handle.write(json.dumps({"t": 1.0, "alert": "hot",
+                                 "state": "firing"}) + "\n")
+    assert main(["inspect", str(timeline)]) == 0
+    out = capsys.readouterr().out
+    assert "Alert timeline" in out and "hot" in out and "transitions: 1" in out

@@ -63,3 +63,7 @@ def test_trace_jsonl_is_byte_identical(golden, tmp_path):
 
 def test_chaos_fault_and_alert_jsonl_are_byte_identical(golden):
     _assert_section(golden["mini_chaos"], regen.mini_chaos(), "mini_chaos")
+
+
+def test_schema_versions_are_pinned(golden):
+    _assert_section(golden["schemas"], regen.schema_versions(), "schemas")

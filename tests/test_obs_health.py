@@ -1,6 +1,8 @@
 """Tests for the streaming health engine: SLI computation over sliding
 sim-time windows, the daemon tick lifecycle, and alert integration."""
 
+import json
+
 import pytest
 
 from repro.obs.health import HealthEngine, SliSpec, _wildcard_capture
@@ -238,4 +240,8 @@ def test_export_timeline_writes_jsonl(tmp_path):
     count = engine.export_timeline(path)
     assert count == len(engine.timeline) > 0
     with open(path) as handle:
-        assert len(handle.read().strip().splitlines()) == count
+        lines = handle.read().strip().splitlines()
+    # One schema header line, then the transition records.
+    assert json.loads(lines[0]) == {"type": "schema",
+                                    "schema": "alert_timeline", "version": 1}
+    assert len(lines) == count + 1

@@ -123,3 +123,78 @@ def test_rebind_advances_run_index():
     assert tracer.run == first + 1
     tracer.bind(Simulator(), run=9)
     assert tracer.run == 9
+
+
+def test_chrome_export_multi_run_pid_mapping(tmp_path):
+    """A figure sweep binds several simulators: each run must land on
+    its own Chrome pid, with per-(run, track) thread metadata."""
+    tracer = Tracer()
+    for run in range(3):
+        sim = Simulator()
+        tracer.bind(sim, run=run)
+        span = tracer.begin("stage", track="switch:edge")
+        sim.schedule(0.002, tracer.end, span)
+        tracer.instant("mark", track="monitor")
+        sim.run()
+    path = str(tmp_path / "multi.chrome.json")
+    count = tracer.export_chrome(path)
+    with open(path) as handle:
+        events = json.load(handle)["traceEvents"]
+    assert len(events) == count
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    # One span + one instant per run, each on its own pid.
+    assert sorted(e["pid"] for e in complete) == [0, 1, 2]
+    assert sorted(e["pid"] for e in instants) == [0, 1, 2]
+    # Instants carry the thread scope.
+    assert {e["s"] for e in instants} == {"t"}
+    # Two tracks per run -> six thread_name metadata events, with tids
+    # unique per (pid, track) pair.
+    assert len(metadata) == 6
+    assert all(e["name"] == "thread_name" for e in metadata)
+    pairs = {(e["pid"], e["args"]["name"]): e["tid"] for e in metadata}
+    assert len(pairs) == 6
+    for event in complete + instants:
+        track = "switch:edge" if event["ph"] == "X" else "monitor"
+        assert event["tid"] == pairs[(event["pid"], track)]
+
+
+def test_chrome_events_open_span_gets_zero_duration():
+    records = [{"type": "span", "run": 0, "name": "open", "cat": "c",
+                "track": "t", "t0": 2.0, "t1": None, "args": {}}]
+    (meta, event) = chrome_events(records)
+    assert meta["ph"] == "M"
+    assert event["dur"] == 0.0 and event["ts"] == 2e6
+
+
+def test_export_jsonl_writes_schema_header(tmp_path):
+    tracer = Tracer()
+    tracer.end(tracer.begin("a"))
+    path = str(tmp_path / "t.jsonl")
+    assert tracer.export_jsonl(path) == 1
+    with open(path) as handle:
+        lines = handle.read().strip().splitlines()
+    assert json.loads(lines[0]) == {"type": "schema", "schema": "trace",
+                                    "version": 1}
+    assert len(lines) == 2
+    # read_jsonl skips the header transparently.
+    assert read_jsonl(path) == tracer.records()
+
+
+def test_causality_stamps_span_ids_and_event_ids():
+    sim = Simulator()
+    sim.enable_provenance()
+    tracer = Tracer()
+    tracer.causality = True
+    tracer.bind(sim)
+
+    def work():
+        tracer.end(tracer.begin("stage"))
+        tracer.instant("mark")
+
+    sim.schedule(0.5, work)
+    sim.run()
+    span, instant = tracer.records()
+    assert span["id"] == 0 and instant["id"] == 1
+    assert span["ev"] == [0, 0] and instant["ev"] == [0, 0]
