@@ -166,6 +166,7 @@ def cmd_list(_args) -> int:
     rows.append(["demo", "quickstart flood demo"])
     rows.append(["chaos", "fault-injection run with recovery report (docs/robustness.md)"])
     rows.append(["health", "chaos-verified alert detection scorecard (docs/observability.md)"])
+    rows.append(["telemetry", "sampled-telemetry accuracy/overhead scorecard"])
     rows.append(["scale", "500+-vSwitch overlay flash crowd (engine throughput)"])
     rows.append(["profiles", "calibrated switch models"])
     _print(format_table(["target", "description"], rows, title="Available runs"))
@@ -377,6 +378,50 @@ def cmd_health(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_telemetry(args) -> int:
+    """Run the sampled-telemetry accuracy/overhead scorecard: one flood
+    + elephant scenario per stats mode (poll baseline, then sampling at
+    each --periods rate), scored on elephant-detection recall/precision
+    and monitoring cost (docs/observability.md#sampled-telemetry)."""
+    from repro.telemetry.scorecard import (
+        format_telemetry_scorecard,
+        render_telemetry_html,
+        run_telemetry_scorecard,
+        telemetry_scorecard_json,
+    )
+
+    try:
+        periods = tuple(int(p) for p in args.periods.split(",") if p)
+    except ValueError:
+        print(f"--periods wants comma-separated integers, got {args.periods!r}",
+              file=sys.stderr)
+        return 2
+    if not periods or any(p < 1 for p in periods):
+        print("--periods needs at least one period >= 1", file=sys.stderr)
+        return 2
+    card = run_telemetry_scorecard(
+        seed=args.seed,
+        duration=args.duration,
+        attack_rate=args.attack_rate,
+        elephants=args.elephants,
+        mice=args.mice,
+        periods=periods,
+        include_hybrid=args.hybrid,
+    )
+    _print(format_telemetry_scorecard(card))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(telemetry_scorecard_json(card) + "\n")
+        print(f"scorecard -> {args.json}")
+    if args.html:
+        render_telemetry_html(args.html, card)
+        print(f"telemetry report -> {args.html}")
+    worst = min((run.recall for run in card.runs), default=1.0)
+    print(f"telemetry: worst recall {worst:.2f} across {len(card.runs)} runs "
+          f"-> {'OK' if worst >= 0.9 else 'DEGRADED'}")
+    return 0 if worst >= 0.9 else 1
+
+
 def cmd_scale(args) -> int:
     """Run the scale scenario: a several-hundred-vSwitch overlay under
     flash-crowd load, reporting engine throughput (events/sec), wall
@@ -384,10 +429,17 @@ def cmd_scale(args) -> int:
     import dataclasses
     import json as json_module
 
+    from repro.core.config import ScotchConfig
     from repro.testbed.scale import run_scale
 
     if args.host_vswitches + args.mesh < 2:
         print("need at least 2 vSwitches", file=sys.stderr)
+        return 2
+    try:
+        config = ScotchConfig(stats_mode=args.stats_mode,
+                              sampling_period=args.sampling_period)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     result = run_scale(
         seed=args.seed,
@@ -398,6 +450,7 @@ def cmd_scale(args) -> int:
         duration=args.duration,
         base_rate_fps=args.base_rate,
         crowd_multiplier=args.crowd_multiplier,
+        config=config,
     )
     _print(result.summary())
     if args.json:
@@ -468,7 +521,9 @@ def cmd_inspect(args) -> int:
         summarize_fault_log,
         summarize_metrics,
         summarize_postmortem,
+        summarize_telemetry_scorecard,
         summarize_trace,
+        telemetry_run_rows,
     )
 
     summarizers = {
@@ -476,6 +531,7 @@ def cmd_inspect(args) -> int:
         "fault_log": summarize_fault_log,
         "alert_timeline": summarize_alert_timeline,
         "postmortem": summarize_postmortem,
+        "telemetry_scorecard": summarize_telemetry_scorecard,
     }
     try:
         kind = sniff_kind(args.trace)
@@ -526,6 +582,15 @@ def cmd_inspect(args) -> int:
         return 0
     if kind == "postmortem":
         _print_postmortem_summary(args.trace, summary)
+        return 0
+    if kind == "telemetry_scorecard":
+        _print(format_table(
+            ["mode", "recall", "precision", "bytes", "reduction", "cpu share"],
+            telemetry_run_rows(summary),
+            title=f"Telemetry scorecard — {args.trace}"))
+        print(f"runs: {summary['runs']}  seed: {summary['seed']}  "
+              f"elephants: {summary['elephants']}  "
+              f"(schema v{summary['version']})")
         return 0
     _print(format_table(
         ["stage", "count", "mean (ms)", "p50 (ms)", "p99 (ms)", "max (ms)"],
@@ -844,6 +909,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(health)
     health.set_defaults(func=cmd_health)
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="sampled-telemetry accuracy/overhead scorecard: elephant "
+             "recall/precision and monitoring cost per stats mode "
+             "(docs/observability.md#sampled-telemetry)")
+    telemetry.add_argument("--seed", type=int, default=1)
+    telemetry.add_argument("--duration", type=float, default=8.0,
+                           help="simulated seconds (default 8)")
+    telemetry.add_argument("--attack-rate", type=float, default=800.0,
+                           help="spoofed flood rate keeping the overlay "
+                                "active (default 800)")
+    telemetry.add_argument("--elephants", type=int, default=8,
+                           help="injected ground-truth elephants (default 8)")
+    telemetry.add_argument("--mice", type=int, default=10,
+                           help="decoy mid-size flows (default 10)")
+    telemetry.add_argument("--periods", default="10",
+                           help="comma-separated sampling periods N "
+                                "(1-in-N), one sample run each "
+                                "(default: 10)")
+    telemetry.add_argument("--hybrid", action="store_true",
+                           help="also run hybrid mode (sampling + slow "
+                                "safety-net polls) at the first period")
+    telemetry.add_argument("--json", metavar="FILE",
+                           help="write the scorecard as canonical JSON")
+    telemetry.add_argument("--html", metavar="FILE",
+                           help="write a self-contained HTML scorecard")
+    telemetry.set_defaults(func=cmd_telemetry)
+
     scale = sub.add_parser(
         "scale",
         help="flash crowd over a several-hundred-vSwitch overlay "
@@ -866,8 +959,17 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--crowd-multiplier", type=float, default=10.0,
                        help="rate multiplier during the crowd window "
                             "(default 10)")
+    scale.add_argument("--stats-mode", default="poll",
+                       choices=("poll", "sample", "hybrid", "off"),
+                       help="flow measurement mode (default poll); with "
+                            "--metrics, monitoring-cost counters land in "
+                            "the result extras")
+    scale.add_argument("--sampling-period", type=int, default=10,
+                       help="1-in-N packet sampling period for "
+                            "sample/hybrid modes (default 10)")
     scale.add_argument("--json", metavar="FILE",
                        help="write the full ScaleResult as JSON")
+    _add_obs_flags(scale)
     scale.set_defaults(func=cmd_scale)
 
     inspect = sub.add_parser(

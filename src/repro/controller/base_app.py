@@ -39,6 +39,9 @@ class BaseApp:
     def stats_reply(self, dpid: str, message: "FlowStatsReply") -> None:
         """A flow-stats dump arrived."""
 
+    def sample_report(self, dpid: str, message) -> None:
+        """A packet-sample export arrived (sampled-telemetry mode)."""
+
     def flow_removed(self, dpid: str, message) -> None:
         """A rule expired at a switch (SEND_FLOW_REM)."""
 

@@ -21,6 +21,8 @@ from repro.openflow.messages import (
     PacketOut,
     PortStatsReply,
     PortStatsRequest,
+    SampleReport,
+    wire_bytes,
 )
 from repro.switch.match import Match
 
@@ -54,11 +56,27 @@ class OpenFlowController:
         self.apps: List["BaseApp"] = []
         self.packet_ins_received = 0
         self.stats_replies_received = 0
+        self.sample_reports_received = 0
         self.flow_removed_received = 0
         self.errors_received = 0
         self._obs = sim.obs
         self._m_packet_ins = sim.obs.metrics.counter("controller.packet_ins")
         self._m_errors = sim.obs.metrics.counter("controller.errors")
+        # Monitoring-cost counters (docs/observability.md, "Sampled
+        # telemetry"): how much control-channel attention flow
+        # measurement itself consumes.  Byte counts use the nominal wire
+        # model of repro.openflow.messages.wire_bytes; the
+        # ``monitoring_bytes_rate`` SLI aggregates the ``stats.bytes.*``
+        # family.
+        metrics = sim.obs.metrics
+        self._m_stats_polls = metrics.counter("stats.polls_sent")
+        self._m_stats_replies = metrics.counter("stats.replies")
+        self._m_stats_entries = metrics.counter("stats.reply_entries")
+        self._m_stats_bytes_requests = metrics.counter("stats.bytes.requests")
+        self._m_stats_bytes_replies = metrics.counter("stats.bytes.replies")
+        self._m_sample_reports = metrics.counter("stats.sample_reports")
+        self._m_sample_records = metrics.counter("stats.sample_records")
+        self._m_stats_bytes_samples = metrics.counter("stats.bytes.samples")
 
     # ------------------------------------------------------------------
     # Registration
@@ -103,8 +121,18 @@ class OpenFlowController:
                 obs_path.decision(self._obs, packet, route="inline")
         elif isinstance(message, FlowStatsReply):
             self.stats_replies_received += 1
+            self._m_stats_replies.inc()
+            self._m_stats_entries.inc(len(message.entries))
+            self._m_stats_bytes_replies.inc(wire_bytes(message))
             for app in self.apps:
                 app.stats_reply(dpid, message)
+        elif isinstance(message, SampleReport):
+            self.sample_reports_received += 1
+            self._m_sample_reports.inc()
+            self._m_sample_records.inc(len(message.records))
+            self._m_stats_bytes_samples.inc(wire_bytes(message))
+            for app in self.apps:
+                app.sample_report(dpid, message)
         elif isinstance(message, FlowRemoved):
             self.flow_removed_received += 1
             for app in self.apps:
@@ -172,6 +200,8 @@ class OpenFlowController:
         self, dpid: str, table_id: Optional[int] = None, match: Optional[Match] = None
     ) -> FlowStatsRequest:
         message = FlowStatsRequest(table_id=table_id, match=match)
+        self._m_stats_polls.inc()
+        self._m_stats_bytes_requests.inc(wire_bytes(message))
         self.datapaths[dpid].send(message)
         return message
 

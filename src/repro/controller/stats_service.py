@@ -31,6 +31,12 @@ class StatsPoller:
         self.interval = interval
         self.table_id = table_id
         self.polls_sent = 0
+        #: Targets skipped because their dpid left ``controller.datapaths``
+        #: (e.g. an unregistered/torn-down switch still in the target set).
+        self.targets_departed = 0
+        self._m_departed = controller.sim.obs.metrics.counter(
+            "stats.targets_departed"
+        )
         self._running = False
         # Held so stop() can cancel the pending tick; otherwise a
         # stop()/start() cycle doubles the tick chain (same bug and fix
@@ -55,9 +61,20 @@ class StatsPoller:
         if not self._running:
             return
         for dpid in self.targets():
-            if dpid in self.controller.datapaths:
-                self.controller.request_flow_stats(dpid, table_id=self.table_id)
-                self.polls_sent += 1
+            if dpid not in self.controller.datapaths:
+                # A target that departed the controller's datapath set is
+                # skipped — visibly: silently dropping it hid torn-down
+                # switches lingering in target callables.
+                self.targets_departed += 1
+                self._m_departed.inc()
+                tracer = self.controller.sim.obs.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "stats.target_departed", track="stats", dpid=dpid
+                    )
+                continue
+            self.controller.request_flow_stats(dpid, table_id=self.table_id)
+            self.polls_sent += 1
         self._tick_event = self.controller.sim.schedule(
             self.interval, self._tick, daemon=True
         )

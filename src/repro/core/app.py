@@ -48,6 +48,7 @@ from repro.core.overlay import OverlayError, ScotchOverlay
 from repro.core.policy import PolicyRegistry
 from repro.core.withdrawal import WithdrawalManager
 from repro.openflow.messages import FlowMod
+from repro.telemetry.service import SamplingStatsService
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.openflow.messages import EchoReply, FlowStatsReply, PacketIn
@@ -79,6 +80,10 @@ class ScotchApp(BaseApp):
         self.migrator: Optional[ElephantMigrator] = None
         self.withdrawal: Optional[WithdrawalManager] = None
         self.heartbeat: Optional[HeartbeatMonitor] = None
+        #: The flow-measurement service (mode ``config.stats_mode``);
+        #: ``stats_poller`` stays the underlying StatsPoller in
+        #: poll/hybrid modes (None in sample/off modes).
+        self.stats_service: Optional[SamplingStatsService] = None
         self.stats_poller: Optional[StatsPoller] = None
         self.reliable: Optional[ReliableSender] = None
         self.groups_installed: Set[str] = set()
@@ -136,15 +141,16 @@ class ScotchApp(BaseApp):
             self.sim, self.controller, self.overlay, self.config,
             self.groups_installed, reliable=self.reliable,
         )
-        self.stats_poller = StatsPoller(
+        self.stats_service = SamplingStatsService(
             self.controller,
+            self.network,
             targets=lambda: [v for v in self.overlay.mesh if v not in self.overlay.dead],
-            interval=self.config.stats_interval,
-            table_id=VSWITCH_FLOW_TABLE,
+            config=self.config,
         )
+        self.stats_poller = self.stats_service.poller
         self.monitor.start()
         self.heartbeat.start()
-        self.stats_poller.start()
+        self.stats_service.start()
         self.sim.schedule(self._DB_PRUNE_INTERVAL, self._prune_flow_db, daemon=True)
 
     #: How often dropped-flow records are purged from the Flow Info
@@ -537,6 +543,10 @@ class ScotchApp(BaseApp):
     # ------------------------------------------------------------------
     def stats_reply(self, dpid: str, message: "FlowStatsReply") -> None:
         self.migrator.handle_stats(dpid, message)
+
+    def sample_report(self, dpid: str, message) -> None:
+        if self.stats_service is not None:
+            self.stats_service.handle_sample_report(dpid, message)
 
     def error(self, dpid: str, message) -> None:
         if message.code == "table_full" and dpid in self.schedulers:

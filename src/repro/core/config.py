@@ -77,6 +77,29 @@ class ScotchConfig:
     elephant_packet_threshold: int = 200
     #: Flow-stats polling interval toward vSwitches, seconds.
     stats_interval: float = 1.0
+
+    # -- sampled telemetry (docs/observability.md, "Sampled telemetry") -----
+    #: How the controller measures per-flow counters at the vSwitches.
+    #: ``poll``   — the paper's §5.3 loop: full flow-stats dumps every
+    #:              ``stats_interval`` (the default; bit-identical to the
+    #:              pre-telemetry behaviour).
+    #: ``sample`` — NetFlow-style 1-in-N packet sampling at each mesh
+    #:              vSwitch; the controller scales samples into per-flow
+    #:              estimates and feeds them down the same stats path.
+    #: ``hybrid`` — sampling plus a slow full poll (every
+    #:              ``stats_interval * hybrid_poll_multiplier``) to
+    #:              true-up the estimates.
+    #: ``off``    — no flow measurement at all (baseline for the
+    #:              monitoring-overhead benchmark).
+    stats_mode: str = "poll"
+    #: Sample 1 packet in this many (the NetFlow/sFlow sampling period N).
+    sampling_period: int = 10
+    #: How often each sampling vSwitch exports its accumulated sample
+    #: records to the controller, seconds.
+    sample_export_interval: float = 0.25
+    #: In ``hybrid`` mode, full polls run this many times slower than
+    #: ``stats_interval``.
+    hybrid_poll_multiplier: float = 5.0
     #: Skip migrating onto switches whose pending install backlog exceeds
     #: this ("checks the message rate of all switches on the path to make
     #: sure their control plane is not overloaded").
@@ -140,3 +163,11 @@ class ScotchConfig:
             raise ValueError("reliable_install_timeout_cap must be >= the timeout")
         if self.reliable_install_max_retries < 0:
             raise ValueError("reliable_install_max_retries must be non-negative")
+        if self.stats_mode not in ("poll", "sample", "hybrid", "off"):
+            raise ValueError(f"unknown stats mode {self.stats_mode!r}")
+        if self.sampling_period < 1:
+            raise ValueError("sampling_period must be >= 1")
+        if self.sample_export_interval <= 0:
+            raise ValueError("sample_export_interval must be positive")
+        if self.hybrid_poll_multiplier < 1:
+            raise ValueError("hybrid_poll_multiplier must be >= 1")

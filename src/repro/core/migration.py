@@ -54,6 +54,11 @@ class ElephantMigrator:
         self.migrations_started = 0
         self.migrations_completed = 0
         self.migrations_deferred = 0
+        #: When each flow first crossed the elephant threshold in a stats
+        #: dump (sim time) — pure bookkeeping, read by the telemetry
+        #: accuracy scorecard to score detection recall/latency under
+        #: polling vs. sampling.
+        self.elephants_flagged: Dict[FlowKey, float] = {}
 
     # ------------------------------------------------------------------
     # Stats intake
@@ -73,6 +78,8 @@ class ElephantMigrator:
                 info.last_stats_seen = self.sim.now
             if entry.packets < self.config.elephant_packet_threshold:
                 continue
+            if key not in self.elephants_flagged:
+                self.elephants_flagged[key] = self.sim.now
             self.maybe_migrate(key)
 
     # ------------------------------------------------------------------

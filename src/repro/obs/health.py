@@ -110,6 +110,17 @@ def default_slis() -> Tuple[SliSpec, ...]:
         SliSpec("controller.delivery_ratio", KIND_RATIO, window=0.5,
                 patterns=("controller.packet_ins",),
                 denominator=("ofa.*.packet_ins",), min_demand=10.0),
+        # Control-channel bytes the flow-measurement machinery itself
+        # consumes (stats requests + replies + sample exports) — the
+        # overhead axis of the sampled-telemetry scorecard.
+        SliSpec("monitoring_bytes_rate", KIND_RATE, window=1.0,
+                patterns=("stats.bytes.*",)),
+        # Seconds since the flow estimator last heard from its
+        # worst-served vSwitch.  The gauges exist only in sample/hybrid
+        # stats modes, so under full polling this reads 0.0 and the
+        # estimator-starvation alert is inert.
+        SliSpec("estimate_staleness", KIND_GAUGE,
+                gauge_pattern="telemetry.*.estimate_staleness", agg="max"),
     )
 
 

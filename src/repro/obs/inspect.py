@@ -115,7 +115,9 @@ def stage_rows(summary: Dict[str, Any]) -> List[List[Any]]:
 # ----------------------------------------------------------------------
 def sniff_kind(path: str) -> str:
     """Classify a JSONL file: ``"trace"``, ``"metrics"``,
-    ``"fault_log"``, ``"alert_timeline"`` or ``"postmortem"``.
+    ``"fault_log"``, ``"alert_timeline"``, ``"postmortem"`` or
+    ``"telemetry_scorecard"`` (the one single-object kind — canonical
+    JSON, versioned in-payload rather than by schema header).
 
     A schema header (any current export) settles it from the first
     line.  Headerless (legacy) files fall back to record-shape
@@ -139,6 +141,8 @@ def sniff_kind(path: str) -> str:
                 return "metrics"
             if kind == "trigger":
                 return "postmortem"
+            if "telemetry_runs" in record:
+                return "telemetry_scorecard"
             if "phase" in record and "target" in record:
                 return "fault_log"
             if "alert" in record and "state" in record:
@@ -276,6 +280,44 @@ def summarize_alert_timeline(path: str) -> Dict[str, Any]:
         "alerts": {alert: dict(sorted(states.items()))
                    for alert, states in sorted(by_alert.items())},
     }
+
+
+def summarize_telemetry_scorecard(path: str) -> Dict[str, Any]:
+    """Telemetry-scorecard summary: the scenario header plus per-run
+    accuracy/overhead rows (the payload is already a summary — this
+    mostly reshapes it for tabulation)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    runs = payload.get("telemetry_runs", [])
+    return {
+        "version": payload.get("version"),
+        "seed": payload.get("seed"),
+        "duration": payload.get("duration"),
+        "elephants": payload.get("elephants"),
+        "runs": len(runs),
+        "modes": [
+            (run["mode"] if run.get("period", 0) == 0
+             else f"{run['mode']} 1/{run['period']}")
+            for run in runs
+        ],
+        "telemetry_runs": runs,
+    }
+
+
+def telemetry_run_rows(summary: Dict[str, Any]) -> List[List[Any]]:
+    """Tabulation rows: [mode, recall, precision, bytes, reduction,
+    cpu share] per run."""
+    rows = []
+    for label, run in zip(summary["modes"], summary["telemetry_runs"]):
+        rows.append([
+            label,
+            round(float(run["recall"]), 4),
+            round(float(run["precision"]), 4),
+            run["monitoring_bytes"],
+            f"{float(run['byte_reduction']):.1f}x",
+            f"{float(run['controller_cpu_share']) * 100:.2f}%",
+        ])
+    return rows
 
 
 def summarize_postmortem(path: str) -> Dict[str, Any]:

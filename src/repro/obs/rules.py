@@ -171,6 +171,12 @@ vswitch_dead: heartbeat.miss_rate > 0.5 for 0.2 clear 0.25 detects vswitch_crash
 # Controller outage: the controller stops receiving the Packet-Ins the
 # OFAs are still emitting (ratio of delivered to generated).
 controller_outage: controller.delivery_ratio < 0.1 for 0.25 clear 0.5 detects controller_outage severity critical
+
+# Estimator starvation (sampled-telemetry mode only): a sampling
+# vSwitch's timer exports stop reaching the flow estimator — the
+# vSwitch died, the path partitioned, or the controller went dark.
+# Inert under full polling: no staleness gauges exist, the SLI reads 0.
+estimator_starved: estimate_staleness > 1.5 for 0.5 clear 0.75 detects vswitch_crash,partition,controller_outage severity warning
 """
 
 

@@ -22,6 +22,9 @@ import json
 from typing import Any, Dict, Optional
 
 #: Artifact kind -> current schema version.  Bump on format changes.
+#: JSONL streams only: single-object canonical-JSON artifacts (the
+#: health and telemetry scorecards) version themselves in-payload —
+#: see ``repro.telemetry.scorecard.TELEMETRY_SCORECARD_VERSION``.
 SCHEMA_VERSIONS: Dict[str, int] = {
     "trace": 1,
     "metrics": 1,

@@ -431,6 +431,23 @@ def render_html_report(
         handle.write("\n".join(out))
 
 
+def canonical_json(payload: object) -> str:
+    """The repo-wide canonical JSON form: sorted keys, compact
+    separators — byte-identical for equal payloads, so scorecard
+    artifacts can be digest-pinned.  Shared by the detection scorecard
+    and the telemetry accuracy scorecard
+    (:mod:`repro.telemetry.scorecard`)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def html_head(title: str) -> str:
+    """The shared self-contained HTML prologue (no JS, no external
+    assets) with ``title`` substituted — so every report the repo emits
+    looks the same."""
+    return _HTML_HEAD.replace("<title>Scotch health report</title>",
+                              f"<title>{title}</title>")
+
+
 def scorecard_json(scorecard: Scorecard) -> str:
     """The scorecard as one deterministic JSON object (machine use)."""
     payload = {
@@ -461,4 +478,4 @@ def scorecard_json(scorecard: Scorecard) -> str:
             for f in scorecard.false_positives
         ],
     }
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return canonical_json(payload)

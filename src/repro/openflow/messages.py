@@ -19,6 +19,7 @@ from repro.net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import
     # cycle (repro.switch.ofa imports this module at runtime).
+    from repro.net.flow import FlowKey
     from repro.switch.actions import Action
     from repro.switch.group_table import Bucket
     from repro.switch.match import Match
@@ -118,6 +119,70 @@ class FlowStatsReply(Message):
     datapath_id: str = ""
     entries: List[FlowStatsEntry] = field(default_factory=list)
     request_xid: int = 0
+
+
+@dataclass
+class SampleRecord:
+    """Aggregated packet samples for one five-tuple at one vSwitch.
+
+    ``samples`` raw sampled packets (NOT scaled by the sampling period);
+    ``sampled_bytes`` the bytes of those sampled packets.  The
+    controller-side estimator does the 1-in-N scale-up.
+    """
+
+    key: "FlowKey"
+    samples: int
+    sampled_bytes: int
+
+
+@dataclass
+class SampleReport(Message):
+    """vSwitch -> controller: a batch of packet-sample records
+    (sFlow/NetFlow-style export, docs/observability.md "Sampled
+    telemetry").  Far smaller on the wire than a full flow-stats dump:
+    only flows that saw sampled packets this window appear."""
+
+    datapath_id: str = ""
+    #: The 1-in-N sampling period the records were taken at.
+    period: int = 1
+    records: List[SampleRecord] = field(default_factory=list)
+    window_start: float = 0.0
+    window_end: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Nominal wire sizes
+# ----------------------------------------------------------------------
+# Messages here are typed in-memory objects, but the monitoring-cost
+# accounting (docs/observability.md "Sampled telemetry") needs a byte
+# model for the control channel.  Sizes follow OpenFlow 1.3 framing:
+# an 8-byte header, a 16-byte multipart preamble, 56 bytes for a flow
+# stats request (preamble + padded match), and ~96 bytes per flow stats
+# entry (48-byte fixed part + a five-tuple OXM match rounded up).  A
+# sample record is 28 bytes (IPv4 five-tuple + two counters), close to
+# a NetFlow v5 record.
+OFP_HEADER_BYTES = 8
+MULTIPART_BASE_BYTES = 16
+FLOW_STATS_REQUEST_BYTES = 56
+FLOW_STATS_ENTRY_BYTES = 96
+PORT_STATS_ENTRY_BYTES = 40
+SAMPLE_RECORD_BYTES = 28
+
+
+def wire_bytes(message: Message) -> int:
+    """Nominal control-channel size of ``message`` in bytes."""
+    kind = type(message)
+    if kind is FlowStatsRequest:
+        return FLOW_STATS_REQUEST_BYTES
+    if kind is FlowStatsReply:
+        return MULTIPART_BASE_BYTES + FLOW_STATS_ENTRY_BYTES * len(message.entries)
+    if kind is SampleReport:
+        return MULTIPART_BASE_BYTES + SAMPLE_RECORD_BYTES * len(message.records)
+    if kind is PortStatsRequest:
+        return MULTIPART_BASE_BYTES + 8
+    if kind is PortStatsReply:
+        return MULTIPART_BASE_BYTES + PORT_STATS_ENTRY_BYTES * len(message.entries)
+    return OFP_HEADER_BYTES
 
 
 @dataclass

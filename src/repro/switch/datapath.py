@@ -67,6 +67,11 @@ class Datapath:
         self.dropped_no_route = 0
         self.dropped_policy = 0
         self.punted = 0
+        #: Optional packet sampler (repro.telemetry) attached by the
+        #: sampling stats service.  None (the default) costs one pointer
+        #: check per packet train — the zero-overhead-when-disabled
+        #: contract of the sampled-telemetry subsystem.
+        self.sampler = None
 
     def table(self, table_id: int) -> FlowTable:
         return self.tables[table_id]
@@ -112,6 +117,8 @@ class Datapath:
     def process(self, packet: Packet, in_port: int) -> None:
         """Run the packet through the tables, starting at table 0."""
         packet.hops.append(self.switch.name)
+        if self.sampler is not None:
+            self.sampler.observe(packet)
         tables = self.tables
         now = self.sim.now
         table_id = 0

@@ -1,0 +1,24 @@
+"""Sampled telemetry: packet-sampled flow measurement (docs/observability.md).
+
+The paper's §5.3 monitoring loop polls full per-flow stats from every
+mesh vSwitch every interval — O(resident rules) control-channel bytes
+per vSwitch per poll, the first thing to collapse at the ROADMAP's
+50k-vSwitch scale.  This package provides the NetFlow-style
+alternative ("Reinventing NetFlow for OpenFlow Software-Defined
+Networks", PAPERS.md): deterministic 1-in-N packet sampling at each
+vSwitch data path, compact sample-record export, and a controller-side
+estimator that scales samples into per-flow packet/byte estimates with
+confidence intervals — fed down the unchanged ``stats_reply`` path so
+the elephant migrator never knows it is working on estimates.
+"""
+
+from repro.telemetry.estimator import FlowEstimate, FlowEstimator
+from repro.telemetry.sampler import PacketSampler
+from repro.telemetry.service import SamplingStatsService
+
+__all__ = [
+    "FlowEstimate",
+    "FlowEstimator",
+    "PacketSampler",
+    "SamplingStatsService",
+]

@@ -1,0 +1,109 @@
+"""Controller-side flow estimation from packet samples.
+
+Standard 1-in-N inversion (Duffield et al., and the NetFlow literature
+cited in PAPERS.md): a flow observed ``s`` times under period-``N``
+sampling is estimated at ``s * N`` packets.  For random/systematic
+sampling the estimator variance is ``s * N * (N - 1)``, giving the
+95% confidence half-width ``1.96 * sqrt(s * N * (N - 1))`` reported on
+each estimate.  Relative error shrinks as the flow grows — exactly the
+property elephant detection needs: a 200-packet elephant at 1-in-10
+yields ~20 samples (±~13% CI), while mice mostly never get sampled and
+cost the controller nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.flow import FlowKey
+    from repro.openflow.messages import SampleReport
+
+
+@dataclass
+class FlowEstimate:
+    """Running estimate for one flow at one vSwitch."""
+
+    key: "FlowKey"
+    dpid: str
+    period: int
+    samples: int
+    sampled_bytes: int
+    first_seen: float
+    last_seen: float
+
+    @property
+    def est_packets(self) -> int:
+        return self.samples * self.period
+
+    @property
+    def est_bytes(self) -> int:
+        return self.sampled_bytes * self.period
+
+    @property
+    def ci95_packets(self) -> float:
+        """95% confidence half-width on ``est_packets``."""
+        return 1.96 * sqrt(self.samples * self.period * (self.period - 1))
+
+    @property
+    def relative_error(self) -> float:
+        """CI half-width as a fraction of the estimate (1.0 when empty)."""
+        if self.samples == 0:
+            return 1.0
+        return self.ci95_packets / self.est_packets
+
+
+class FlowEstimator:
+    """Accumulates sample reports into per-(vSwitch, flow) estimates."""
+
+    def __init__(self) -> None:
+        self._by_dpid: Dict[str, Dict["FlowKey", FlowEstimate]] = {}
+        self.reports_ingested = 0
+        self.records_ingested = 0
+
+    def ingest(self, dpid: str, report: "SampleReport", now: float) -> List[FlowEstimate]:
+        """Fold one report in; returns the estimates it updated."""
+        flows = self._by_dpid.setdefault(dpid, {})
+        updated: List[FlowEstimate] = []
+        for record in report.records:
+            estimate = flows.get(record.key)
+            if estimate is None:
+                estimate = flows[record.key] = FlowEstimate(
+                    key=record.key,
+                    dpid=dpid,
+                    period=report.period,
+                    samples=0,
+                    sampled_bytes=0,
+                    first_seen=report.window_start,
+                    last_seen=now,
+                )
+            estimate.samples += record.samples
+            estimate.sampled_bytes += record.sampled_bytes
+            estimate.last_seen = now
+            updated.append(estimate)
+        self.reports_ingested += 1
+        self.records_ingested += len(report.records)
+        return updated
+
+    def estimates(self, dpid: str) -> List[FlowEstimate]:
+        return list(self._by_dpid.get(dpid, {}).values())
+
+    def get(self, dpid: str, key: "FlowKey") -> FlowEstimate:
+        return self._by_dpid.get(dpid, {}).get(key)
+
+    def flow_count(self) -> int:
+        return sum(len(flows) for flows in self._by_dpid.values())
+
+    def prune(self, older_than: float) -> int:
+        """Drop estimates not refreshed since ``older_than`` (retired
+        flows must not hold controller memory forever).  Returns how
+        many were dropped."""
+        dropped = 0
+        for flows in self._by_dpid.values():
+            stale = [key for key, est in flows.items() if est.last_seen < older_than]
+            for key in stale:
+                del flows[key]
+            dropped += len(stale)
+        return dropped

@@ -1,0 +1,411 @@
+"""Accuracy/overhead scorecard for sampled telemetry.
+
+Answers the question the sampling knob poses: *how much elephant-
+detection quality does each sampling rate buy, at what monitoring
+cost?*  One scenario — a spoofed flood keeping the overlay active,
+plus a population of known elephants and decoy mid-size mice entering
+on the attacked port — is replayed per stats mode with the same seed,
+and each replay is scored on:
+
+* **accuracy** — elephant-detection recall/precision against the
+  injected ground truth, plus detection and migration latency;
+* **overhead** — polls sent, sample reports, flow-stats control-channel
+  bytes (the ``stats.bytes.*`` counters) and the controller CPU share
+  of monitoring callbacks (engine profiler).
+
+The scorecard is emitted as canonical JSON (digest-stable; versioned
+in-payload) and a self-contained HTML report, extending the
+:mod:`repro.obs.scorecard` idioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import ScotchConfig
+from repro.net.flow import FlowKey, FlowSpec
+from repro.obs import Observability, observed
+from repro.obs.profiler import EngineProfiler
+from repro.obs.scorecard import canonical_json, html_head
+from repro.testbed.report import format_table
+
+#: Version of the telemetry scorecard JSON payload.  Deliberately NOT a
+#: JSONL schema kind (repro.obs.schema.SCHEMA_VERSIONS): the artifact is
+#: one canonical JSON object, versioned in-payload.
+TELEMETRY_SCORECARD_VERSION = 1
+
+#: Profiler qualname fragments counted as monitoring work when
+#: computing the controller CPU share.
+_MONITORING_CALLBACKS = (
+    "StatsPoller.",
+    "PacketSampler.",
+    "SamplingStatsService.",
+    "_reply_flow_stats",
+)
+
+
+@dataclass
+class TelemetryRunScore:
+    """One mode/rate point of the accuracy-vs-overhead trade."""
+
+    mode: str
+    #: Sampling period N (0 for pure polling).
+    period: int
+    true_elephants: int
+    flagged: int
+    flagged_true: int
+    migrations_completed: int
+    #: Mean seconds from elephant flow start to its first threshold
+    #: crossing in a stats dump (None when nothing was flagged).
+    mean_detection_delay: Optional[float]
+    #: Mean seconds from elephant flow start to completed migration.
+    mean_migration_delay: Optional[float]
+    polls_sent: int
+    reply_entries: int
+    sample_reports: int
+    sample_records: int
+    estimates_emitted: int
+    #: Total flow-measurement control-channel bytes (stats.bytes.*).
+    monitoring_bytes: int
+    #: Monitoring callbacks' share of total callback wall time.
+    controller_cpu_share: float
+
+    @property
+    def recall(self) -> float:
+        if self.true_elephants == 0:
+            return 1.0
+        return self.flagged_true / self.true_elephants
+
+    @property
+    def precision(self) -> float:
+        if self.flagged == 0:
+            return 1.0
+        return self.flagged_true / self.flagged
+
+
+@dataclass
+class TelemetryScorecard:
+    """All runs of one scorecard sweep (first run is the poll baseline)."""
+
+    seed: int
+    duration: float
+    attack_rate: float
+    elephants: int
+    mice: int
+    elephant_packet_threshold: int
+    runs: List[TelemetryRunScore] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> Optional[TelemetryRunScore]:
+        for run in self.runs:
+            if run.mode == "poll":
+                return run
+        return None
+
+    def byte_reduction(self, run: TelemetryRunScore) -> float:
+        """Monitoring-byte reduction factor vs. the poll baseline."""
+        baseline = self.baseline
+        if baseline is None or run.monitoring_bytes == 0:
+            return 0.0
+        return baseline.monitoring_bytes / run.monitoring_bytes
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+def run_telemetry_point(
+    config: ScotchConfig,
+    seed: int = 1,
+    duration: float = 8.0,
+    attack_rate: float = 800.0,
+    elephants: int = 8,
+    mice: int = 10,
+    elephant_packets: int = 600,
+    elephant_pps: float = 300.0,
+    mouse_packets: int = 100,
+    mouse_pps: float = 200.0,
+) -> TelemetryRunScore:
+    """One measured run of the scorecard scenario under ``config``.
+
+    The spoofed flood (fig. 3's stress shape) congests the edge switch
+    so new flows ride the overlay; the elephants and decoy mice enter on
+    the attacked port during the flood.  Runs under a private
+    metrics-only Observability (the run_chaos idiom), so an
+    observability-off caller still gets counters without perturbing the
+    process default.
+    """
+    from repro.testbed.deployment import build_deployment
+    from repro.traffic import SpoofedFlood
+
+    private = Observability(trace=False, metrics=True)
+    with observed(private):
+        dep = build_deployment(seed=seed, racks=2, mesh_per_rack=1, config=config)
+        sim = dep.sim
+        profiler = EngineProfiler()
+        profiler.attach(sim)
+        server_ip = dep.servers[0].ip
+
+        flood = SpoofedFlood(sim, dep.attacker, server_ip, rate_fps=attack_rate)
+        flood.start(at=0.5, stop_at=duration)
+
+        elephant_keys: List[FlowKey] = []
+        for index in range(elephants):
+            key = FlowKey(f"10.99.1.{index + 1}", server_ip, 6, 6000 + index, 80)
+            elephant_keys.append(key)
+            dep.attacker.start_flow(FlowSpec(
+                key=key,
+                start_time=1.5 + 0.25 * index,
+                size_packets=elephant_packets,
+                packet_size=1000,
+                rate_pps=elephant_pps,
+                batch=5,
+            ))
+        mouse_keys: List[FlowKey] = []
+        for index in range(mice):
+            key = FlowKey(f"10.99.2.{index + 1}", server_ip, 6, 7000 + index, 80)
+            mouse_keys.append(key)
+            dep.attacker.start_flow(FlowSpec(
+                key=key,
+                start_time=1.75 + 0.25 * index,
+                size_packets=mouse_packets,
+                packet_size=400,
+                rate_pps=mouse_pps,
+                batch=5,
+            ))
+
+        sim.run(until=duration + 1.0)
+
+        # Ground truth: injected elephants that actually sent past the
+        # threshold *and* rode the overlay (only overlay flows are
+        # visible to §5.3 monitoring — an elephant admitted straight to
+        # a physical path needs no migration).
+        threshold = config.elephant_packet_threshold
+        sent = dep.attacker.sent_tap.records
+        truth = set()
+        for key in elephant_keys:
+            record = sent.get(key)
+            if record is None or record.packets_sent < threshold:
+                continue
+            info = dep.scotch.flow_db.get(key)
+            if info is not None and info.entry_vswitch is not None:
+                truth.add(key)
+            elif info is not None and info.migrated_at is not None:
+                truth.add(key)
+
+        flagged_at = dict(dep.scotch.migrator.elephants_flagged)
+        flagged_true = truth & set(flagged_at)
+        starts = {
+            key: 1.5 + 0.25 * index for index, key in enumerate(elephant_keys)
+        }
+        detection_delays = [
+            flagged_at[key] - starts[key] for key in sorted(flagged_true)
+        ]
+        migration_delays = []
+        for key in sorted(truth):
+            info = dep.scotch.flow_db.get(key)
+            if info is not None and info.migrated_at is not None:
+                migration_delays.append(info.migrated_at - starts[key])
+
+        counters = private.metrics.counters
+
+        def count(name: str) -> int:
+            counter = counters.get(name)
+            return counter.value if counter is not None else 0
+
+        monitoring_bytes = (
+            count("stats.bytes.requests")
+            + count("stats.bytes.replies")
+            + count("stats.bytes.samples")
+        )
+        total_wall = sum(s.total_s for s in profiler.callbacks.values())
+        monitoring_wall = sum(
+            s.total_s
+            for name, s in profiler.callbacks.items()
+            if any(fragment in name for fragment in _MONITORING_CALLBACKS)
+        )
+
+    return TelemetryRunScore(
+        mode=config.stats_mode,
+        period=config.sampling_period if config.stats_mode in ("sample", "hybrid") else 0,
+        true_elephants=len(truth),
+        flagged=len(flagged_at),
+        flagged_true=len(flagged_true),
+        migrations_completed=dep.scotch.migrator.migrations_completed,
+        mean_detection_delay=(
+            sum(detection_delays) / len(detection_delays)
+            if detection_delays else None
+        ),
+        mean_migration_delay=(
+            sum(migration_delays) / len(migration_delays)
+            if migration_delays else None
+        ),
+        polls_sent=count("stats.polls_sent"),
+        reply_entries=count("stats.reply_entries"),
+        sample_reports=count("stats.sample_reports"),
+        sample_records=count("stats.sample_records"),
+        estimates_emitted=count("telemetry.estimates_emitted"),
+        monitoring_bytes=monitoring_bytes,
+        controller_cpu_share=(
+            monitoring_wall / total_wall if total_wall > 0 else 0.0
+        ),
+    )
+
+
+def run_telemetry_scorecard(
+    seed: int = 1,
+    duration: float = 8.0,
+    attack_rate: float = 800.0,
+    elephants: int = 8,
+    mice: int = 10,
+    periods: Sequence[int] = (10,),
+    include_hybrid: bool = False,
+    base_config: Optional[ScotchConfig] = None,
+    **scenario_kwargs,
+) -> TelemetryScorecard:
+    """The full sweep: a poll baseline plus one sample run per period
+    (and optionally a hybrid run at the first period)."""
+    from dataclasses import replace
+
+    base = base_config or ScotchConfig()
+    card = TelemetryScorecard(
+        seed=seed,
+        duration=duration,
+        attack_rate=attack_rate,
+        elephants=elephants,
+        mice=mice,
+        elephant_packet_threshold=base.elephant_packet_threshold,
+    )
+    configs = [replace(base, stats_mode="poll")]
+    configs += [
+        replace(base, stats_mode="sample", sampling_period=period)
+        for period in periods
+    ]
+    if include_hybrid and periods:
+        configs.append(
+            replace(base, stats_mode="hybrid", sampling_period=periods[0])
+        )
+    for config in configs:
+        card.runs.append(run_telemetry_point(
+            config,
+            seed=seed,
+            duration=duration,
+            attack_rate=attack_rate,
+            elephants=elephants,
+            mice=mice,
+            **scenario_kwargs,
+        ))
+    return card
+
+
+# ----------------------------------------------------------------------
+# Rendering (canonical JSON / ASCII / HTML)
+# ----------------------------------------------------------------------
+def _run_payload(card: TelemetryScorecard, run: TelemetryRunScore) -> Dict:
+    return {
+        "mode": run.mode,
+        "period": run.period,
+        "true_elephants": run.true_elephants,
+        "flagged": run.flagged,
+        "flagged_true": run.flagged_true,
+        "recall": round(run.recall, 6),
+        "precision": round(run.precision, 6),
+        "migrations_completed": run.migrations_completed,
+        "mean_detection_delay": (
+            round(run.mean_detection_delay, 6)
+            if run.mean_detection_delay is not None else None
+        ),
+        "mean_migration_delay": (
+            round(run.mean_migration_delay, 6)
+            if run.mean_migration_delay is not None else None
+        ),
+        "polls_sent": run.polls_sent,
+        "reply_entries": run.reply_entries,
+        "sample_reports": run.sample_reports,
+        "sample_records": run.sample_records,
+        "estimates_emitted": run.estimates_emitted,
+        "monitoring_bytes": run.monitoring_bytes,
+        "byte_reduction": round(card.byte_reduction(run), 6),
+        "controller_cpu_share": round(run.controller_cpu_share, 6),
+    }
+
+
+def telemetry_scorecard_json(card: TelemetryScorecard) -> str:
+    """The scorecard as one canonical JSON object.
+
+    ``controller_cpu_share`` is wall-clock-derived (engine profiler) and
+    therefore the one non-deterministic field; everything else is
+    bit-stable for equal seeds."""
+    payload = {
+        "kind": "telemetry_scorecard",
+        "version": TELEMETRY_SCORECARD_VERSION,
+        "seed": card.seed,
+        "duration": card.duration,
+        "attack_rate": card.attack_rate,
+        "elephants": card.elephants,
+        "mice": card.mice,
+        "elephant_packet_threshold": card.elephant_packet_threshold,
+        "telemetry_runs": [_run_payload(card, run) for run in card.runs],
+    }
+    return canonical_json(payload)
+
+
+def _rows(card: TelemetryScorecard) -> List[List[object]]:
+    rows = []
+    for run in card.runs:
+        label = run.mode if run.period == 0 else f"{run.mode} 1/{run.period}"
+        rows.append([
+            label,
+            f"{run.recall:.2f}",
+            f"{run.precision:.2f}",
+            (f"{run.mean_detection_delay:.2f}s"
+             if run.mean_detection_delay is not None else "-"),
+            (f"{run.mean_migration_delay:.2f}s"
+             if run.mean_migration_delay is not None else "-"),
+            run.polls_sent,
+            run.sample_reports,
+            run.monitoring_bytes,
+            (f"{card.byte_reduction(run):.1f}x" if run.mode != "poll" else "1.0x"),
+            f"{run.controller_cpu_share * 100:.2f}%",
+        ])
+    return rows
+
+
+_HEADERS = ["mode", "recall", "prec", "det delay", "mig delay",
+            "polls", "reports", "bytes", "reduction", "cpu share"]
+
+
+def format_telemetry_scorecard(card: TelemetryScorecard) -> str:
+    """ASCII accuracy/overhead table."""
+    title = (
+        f"Telemetry scorecard — seed {card.seed}, {card.duration:.0f}s, "
+        f"flood {card.attack_rate:.0f} fps, {card.elephants} elephants "
+        f"(threshold {card.elephant_packet_threshold} pkts), {card.mice} mice"
+    )
+    return format_table(_HEADERS, _rows(card), title=title)
+
+
+def render_telemetry_html(path: str, card: TelemetryScorecard) -> None:
+    """Self-contained HTML report (shared styling, no JS)."""
+    out = [html_head("Scotch telemetry scorecard"),
+           "<h1>Sampled-telemetry accuracy / overhead scorecard</h1>",
+           f'<p class="legend">seed {card.seed} &middot; '
+           f"{card.duration:.0f}s sim &middot; flood {card.attack_rate:.0f} "
+           f"fps &middot; {card.elephants} elephants "
+           f"(threshold {card.elephant_packet_threshold} packets) &middot; "
+           f"{card.mice} decoy mice</p>"]
+    out.append("<h2>Runs</h2>")
+    out.append("<table><tr>" + "".join(f"<th>{h}</th>" for h in _HEADERS)
+               + "</tr>")
+    for row in _rows(card):
+        out.append("<tr>" + "".join(f"<td>{cell}</td>" for cell in row)
+                   + "</tr>")
+    out.append("</table>")
+    out.append(
+        '<p class="legend">reduction = poll-baseline monitoring bytes / '
+        "this run's monitoring bytes; cpu share = monitoring callbacks' "
+        "share of total callback wall time (profiler; wall-clock derived, "
+        "not deterministic).</p>")
+    out.append("</body></html>\n")
+    with open(path, "w") as handle:
+        handle.write("\n".join(out))

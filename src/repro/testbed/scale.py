@@ -94,7 +94,7 @@ class ScaleResult:
     extras: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"scale: {self.vswitches} vSwitches ({self.mesh} mesh + "
             f"{self.host_vswitches} host), {self.tunnels} tunnels, "
             f"{self.flows_started} flows over {self.duration:.1f}s sim\n"
@@ -104,6 +104,13 @@ class ScaleResult:
             f"  client failure {self.client_failure:.4f}, "
             f"edge punts {self.edge_punts}"
         )
+        if "monitoring_bytes" in self.extras:
+            text += (
+                f"\n  monitoring: {self.extras['stats_polls']:.0f} polls, "
+                f"{self.extras['sample_reports']:.0f} sample reports, "
+                f"{self.extras['monitoring_bytes']:,.0f} control-channel bytes"
+            )
+        return text
 
 
 def build_scale_overlay(
@@ -275,6 +282,25 @@ def run_scale(
     failure = (
         sum(1 for key in sent if key not in arrived) / len(sent) if sent else 0.0
     )
+    # Monitoring-cost extras (metrics-enabled runs only): the flow-stats
+    # counters let `scotch-repro scale --stats-mode sample` show the
+    # monitoring-byte saving at scale next to the engine numbers.
+    extras: Dict[str, float] = {}
+    metrics = sim.obs.metrics
+    if metrics.enabled:
+        def _count(name: str) -> float:
+            counter = metrics.counters.get(name)
+            return float(counter.value) if counter is not None else 0.0
+
+        extras["stats_polls"] = _count("stats.polls_sent")
+        extras["stats_reply_entries"] = _count("stats.reply_entries")
+        extras["sample_reports"] = _count("stats.sample_reports")
+        extras["sample_records"] = _count("stats.sample_records")
+        extras["monitoring_bytes"] = (
+            _count("stats.bytes.requests")
+            + _count("stats.bytes.replies")
+            + _count("stats.bytes.samples")
+        )
     return ScaleResult(
         seed=seed,
         vswitches=dep.vswitch_count,
@@ -293,4 +319,5 @@ def run_scale(
         run_wall=run_wall,
         run_events=run_events,
         events_per_sec=run_events / run_wall if run_wall > 0 else 0.0,
+        extras=extras,
     )

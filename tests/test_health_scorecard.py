@@ -158,8 +158,14 @@ def test_default_plan_full_recall_and_zero_false_positives(health_report):
         FLASH_CROWD, "channel_loss", "ofa_stall", "vswitch_crash",
         "channel_flap", "controller_outage",
     }
-    # Every built-in rule fires for (at least) its own failure shape.
-    assert all(score.firings > 0 for score in card.rules.values())
+    # Every built-in rule fires for (at least) its own failure shape —
+    # except estimator_starved, which watches the sampled-telemetry
+    # export path and must stay inert under full polling (no staleness
+    # gauges exist, so its SLI reads 0 for the whole run).
+    assert card.rules["estimator_starved"].firings == 0
+    assert all(score.firings > 0
+               for name, score in card.rules.items()
+               if name != "estimator_starved")
     assert all(score.true_positives == score.firings
                for score in card.rules.values())
 

@@ -65,11 +65,11 @@ def test_parse_rules_skips_comments_and_rejects_duplicates():
         parse_rules("a: x > 1\na: x > 2\n")
 
 
-def test_builtin_rules_cover_the_four_failure_shapes():
+def test_builtin_rules_cover_the_failure_shapes():
     rules = builtin_rules()
     assert [r.name for r in rules] == [
         "ofa_overload", "path_congestion", "vswitch_dead",
-        "controller_outage",
+        "controller_outage", "estimator_starved",
     ]
     # Every built-in rule declares the classes it detects and uses
     # hysteresis, so the scorecard join and the resolve path are

@@ -1,0 +1,146 @@
+"""StatsPoller edge cases: dynamic target sets, stop/start with
+in-flight replies, table_id filtering, and departed-target visibility."""
+
+import pytest
+
+from repro.controller.base_app import BaseApp
+from repro.controller.controller import OpenFlowController
+from repro.controller.stats_service import StatsPoller
+from repro.core.config import VSWITCH_FLOW_TABLE
+from repro.net.topology import Network
+from repro.obs import Observability, observed
+from repro.openflow.messages import FlowMod
+from repro.sim.engine import Simulator
+from repro.switch.match import Match
+from repro.switch.profiles import IDEAL_SWITCH, OPEN_VSWITCH
+from repro.switch.switch import PhysicalSwitch, VSwitch
+
+
+class StatsRecorder(BaseApp):
+    def __init__(self):
+        super().__init__()
+        self.replies = []
+
+    def stats_reply(self, dpid, message):
+        self.replies.append((dpid, message))
+
+
+def build(n=2, cls=PhysicalSwitch, profile=IDEAL_SWITCH):
+    sim = Simulator()
+    net = Network(sim)
+    controller = OpenFlowController(sim, net)
+    switches = []
+    for i in range(n):
+        sw = net.add(cls(sim, f"s{i}", profile))
+        controller.register_switch(sw)
+        switches.append(sw)
+    app = StatsRecorder()
+    controller.add_app(app)
+    return sim, controller, switches, app
+
+
+def test_interval_must_be_positive():
+    sim, controller, _, _ = build(n=1)
+    with pytest.raises(ValueError):
+        StatsPoller(controller, targets=lambda: [], interval=0.0)
+
+
+def test_dynamic_target_set_is_reread_each_tick():
+    sim, controller, switches, app = build(n=2)
+    targets = ["s0"]
+    poller = StatsPoller(controller, targets=lambda: list(targets), interval=1.0)
+    poller.start()
+    sim.run(until=1.5)
+    assert {dpid for dpid, _ in app.replies} == {"s0"}
+    targets.append("s1")
+    sim.run(until=2.5)
+    assert {dpid for dpid, _ in app.replies} == {"s0", "s1"}
+    targets.clear()
+    sent_before = poller.polls_sent
+    sim.run(until=4.5)
+    assert poller.polls_sent == sent_before
+
+
+def test_stop_cancels_pending_tick_and_restart_does_not_double():
+    sim, controller, switches, app = build(n=1)
+    poller = StatsPoller(controller, targets=lambda: ["s0"], interval=1.0)
+    poller.start()
+    poller.start()  # idempotent
+    sim.run(until=1.5)
+    assert poller.polls_sent == 1
+    poller.stop()
+    sim.run(until=3.5)
+    assert poller.polls_sent == 1
+    poller.start()
+    sim.run(until=6.0)
+    # Restart at t=3.5: ticks at 4.5 and 5.5 only — a doubled tick
+    # chain would have produced four.
+    assert poller.polls_sent == 3
+
+
+def test_stop_during_in_flight_reply_still_dispatches_it():
+    sim, controller, switches, app = build(n=1)
+    poller = StatsPoller(controller, targets=lambda: ["s0"], interval=1.0)
+    poller.start()
+
+    # Stop immediately after the first poll leaves, before its reply
+    # propagates back: the reply must still reach the apps.
+    sim.schedule_at(1.0001, poller.stop)
+    sim.run(until=3.0)
+    assert poller.polls_sent == 1
+    assert len(app.replies) == 1
+
+
+def _install_two_tables(sim, controller):
+    """One rule in table 0 and one in the vSwitch flow table, spaced so
+    the OFA's rate-dependent admission cannot drop either."""
+    dp = controller.datapaths["s0"]
+    dp.send(FlowMod(match=Match(dst_ip="10.0.0.1"), priority=10, table_id=0))
+    sim.schedule_at(0.4, dp.send, FlowMod(
+        match=Match(dst_ip="10.0.0.2"), priority=10,
+        table_id=VSWITCH_FLOW_TABLE))
+
+
+def test_table_id_filtering_on_vswitch_tables():
+    sim, controller, switches, app = build(n=1, cls=VSwitch, profile=OPEN_VSWITCH)
+    _install_two_tables(sim, controller)
+    poller = StatsPoller(controller, targets=lambda: ["s0"], interval=1.0,
+                         table_id=VSWITCH_FLOW_TABLE)
+    poller.start()
+    sim.run(until=1.5)
+    assert len(app.replies) == 1
+    entries = app.replies[0][1].entries
+    assert {entry.table_id for entry in entries} == {VSWITCH_FLOW_TABLE}
+    assert len(entries) == 1
+
+
+def test_no_table_filter_returns_all_tables():
+    sim, controller, switches, app = build(n=1, cls=VSwitch, profile=OPEN_VSWITCH)
+    _install_two_tables(sim, controller)
+    poller = StatsPoller(controller, targets=lambda: ["s0"], interval=1.0)
+    poller.start()
+    sim.run(until=1.5)
+    assert {e.table_id for e in app.replies[0][1].entries} == {0, VSWITCH_FLOW_TABLE}
+
+
+def test_departed_target_skipped_with_counter_and_trace():
+    with observed(Observability(trace=True, metrics=True)):
+        sim, controller, switches, app = build(n=1)
+        poller = StatsPoller(
+            controller, targets=lambda: ["s0", "ghost"], interval=1.0
+        )
+        poller.start()
+        sim.run(until=2.5)
+    # The live target was polled both ticks; the ghost was skipped,
+    # counted, and traced — never raising or polling.
+    assert poller.polls_sent == 2
+    assert poller.targets_departed == 2
+    counter = sim.obs.metrics.counters["stats.targets_departed"]
+    assert counter.value == 2
+    departed = [
+        r for r in sim.obs.tracer.records()
+        if r.get("name") == "stats.target_departed"
+    ]
+    assert len(departed) == 2
+    assert all(r["args"]["dpid"] == "ghost" for r in departed)
+    assert {dpid for dpid, _ in app.replies} == {"s0"}
