@@ -168,6 +168,8 @@ def cmd_list(_args) -> int:
     rows.append(["health", "chaos-verified alert detection scorecard (docs/observability.md)"])
     rows.append(["telemetry", "sampled-telemetry accuracy/overhead scorecard"])
     rows.append(["scale", "500+-vSwitch overlay flash crowd (engine throughput)"])
+    rows.append(["pool", "elastic controller pool: chaos gauntlet or autoscale "
+                         "demo (docs/cluster.md)"])
     rows.append(["profiles", "calibrated switch models"])
     _print(format_table(["target", "description"], rows, title="Available runs"))
     return 0
@@ -333,6 +335,68 @@ def cmd_chaos(args) -> int:
                 handle.write(report.fault_log_jsonl + "\n")
         print(f"fault log: {len(report.fault_log)} actions -> {args.fault_log}")
     _write_health_outputs(args, report)
+    return 0 if report.healthy else 1
+
+
+def cmd_pool(args) -> int:
+    """Run the elastic controller pool (docs/cluster.md): the chaos
+    gauntlet (member crash + election loss + split-brain) or, with
+    --autoscale, the flash-crowd scale-up/down demo.  Exit 0 iff the
+    run is healthy (no invariant violations, no double installs, every
+    switch mastered)."""
+    from repro.cluster import (
+        format_pool_report,
+        peak_live_members,
+        run_pool_autoscale,
+        run_pool_chaos,
+    )
+
+    if args.autoscale:
+        report = run_pool_autoscale(seed=args.seed, switches=args.switches)
+        _print(format_pool_report(report))
+        print(f"autoscale: peak {peak_live_members(report)} members, "
+              f"final {report.members_live}")
+    else:
+        if args.duration < 22.0:
+            print("pool chaos needs --duration >= 22 (the default fault "
+                  "timeline ends at 18s and the report wants a clean "
+                  "recovery window)", file=sys.stderr)
+            return 2
+        report = run_pool_chaos(
+            seed=args.seed,
+            duration=args.duration,
+            controllers=args.controllers,
+            switches=args.switches,
+            rate_fps=args.rate,
+            health=args.health,
+        )
+        _print(format_pool_report(report))
+    if args.events:
+        from repro.obs.schema import write_schema_header
+
+        with open(args.events, "w") as handle:
+            write_schema_header(handle, "pool_events")
+            if report.pool_events_jsonl:
+                handle.write(report.pool_events_jsonl + "\n")
+        print(f"pool events: {len(report.pool_events)} -> {args.events}")
+    if args.fault_log:
+        from repro.obs.schema import write_schema_header
+
+        with open(args.fault_log, "w") as handle:
+            write_schema_header(handle, "fault_log")
+            if report.fault_log_jsonl:
+                handle.write(report.fault_log_jsonl + "\n")
+        print(f"fault log: {len(report.fault_log_jsonl.splitlines())} actions "
+              f"-> {args.fault_log}")
+    if args.scorecard_json:
+        if report.scorecard is None:
+            print("--scorecard-json needs --health", file=sys.stderr)
+            return 2
+        from repro.obs.scorecard import scorecard_json
+
+        with open(args.scorecard_json, "w") as handle:
+            handle.write(scorecard_json(report.scorecard) + "\n")
+        print(f"scorecard -> {args.scorecard_json}")
     return 0 if report.healthy else 1
 
 
@@ -888,6 +952,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_health_output_flags(chaos)
     _add_obs_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
+
+    pool = sub.add_parser(
+        "pool",
+        help="elastic controller pool: chaos gauntlet or autoscale demo "
+             "(docs/cluster.md)")
+    pool.add_argument("--seed", type=int, default=1)
+    pool.add_argument("--duration", type=float, default=24.0,
+                      help="simulated seconds (>= 22; chaos mode only)")
+    pool.add_argument("--controllers", type=int, default=3,
+                      help="pool size for the chaos gauntlet (default 3)")
+    pool.add_argument("--switches", type=int, default=6,
+                      help="managed switches (default 6)")
+    pool.add_argument("--rate", type=float, default=300.0,
+                      help="Packet-In rate driven at the pool (default 300)")
+    pool.add_argument("--autoscale", action="store_true",
+                      help="run the flash-crowd autoscale demo instead of "
+                           "the chaos gauntlet")
+    pool.add_argument("--health", action="store_true",
+                      help="run the health engine with the pool alert rules "
+                           "and print the detection scorecard (chaos mode)")
+    pool.add_argument("--events", metavar="FILE",
+                      help="write the pool event log (JSONL); byte-identical "
+                           "across runs with equal seeds")
+    pool.add_argument("--fault-log", metavar="FILE",
+                      help="write the deterministic fault log (JSONL)")
+    pool.add_argument("--scorecard-json", metavar="FILE",
+                      help="write the detection scorecard as JSON "
+                           "(needs --health)")
+    pool.set_defaults(func=cmd_pool)
 
     health = sub.add_parser(
         "health",

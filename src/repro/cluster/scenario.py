@@ -1,0 +1,511 @@
+"""The canonical controller-pool scenarios: chaos and autoscale.
+
+Shared by the ``scotch-repro pool`` CLI command, the pool test-suite
+and ``benchmarks/bench_pool_scaling.py`` so they all measure the same
+thing: a pool of controller members fronting a set of switches under
+fabricated Packet-In load, with the pool fault classes
+(docs/cluster.md) injected on a fixed timeline, the invariant checker
+(single-master, bounded orphan windows, exactly-once flow setup)
+watching throughout.
+
+The deployment here is control-plane only — switches carry no data
+plane, the traffic driver fabricates Packet-Ins straight into each
+switch's control channel — so a run isolates exactly the machinery the
+pool adds: election, role handoff, orphan buffering, autoscaling and
+EASM rebalancing.  The full Scotch data-plane pipeline stays on the
+single-controller deployment, which never builds a pool
+(``ScotchConfig.controllers == 1``).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.pool import ControllerPool, pool_grace
+from repro.controller.controller import OpenFlowController
+from repro.core.config import ScotchConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, Violation
+from repro.faults.plan import FaultPlan
+from repro.net.packet import Packet
+from repro.net.topology import Network
+from repro.openflow.messages import PacketIn
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.switch.profiles import OPEN_VSWITCH
+from repro.switch.switch import VSwitch
+
+
+def pool_chaos_config(controllers: int = 3) -> ScotchConfig:
+    """Fast pool knobs so a short run exercises full lease-expiry ->
+    election -> handoff cycles several times over."""
+    return ScotchConfig(
+        controllers=controllers,
+        pool_min_controllers=1,
+        pool_max_controllers=max(4, controllers),
+        pool_lease_interval=0.25,
+        pool_lease_timeout=0.75,
+        pool_election_timeout=0.5,
+        pool_bus_delay=0.005,
+        pool_rebalance_interval=0.5,
+        heartbeat_interval=0.25,
+        heartbeat_miss_limit=2,
+        reliable_install_timeout=0.2,
+        reliable_install_timeout_cap=1.0,
+        reliable_install_max_retries=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Deployment
+# ----------------------------------------------------------------------
+@dataclass
+class PoolDeployment:
+    """Handles to everything in the pool deployment."""
+
+    sim: Simulator
+    network: Network
+    controller: OpenFlowController
+    pool: ControllerPool
+    switches: List[VSwitch]
+    config: ScotchConfig
+
+
+def build_pool_deployment(
+    seed: int = 0,
+    switches: int = 6,
+    config: Optional[ScotchConfig] = None,
+) -> PoolDeployment:
+    """Build a pool-managed control plane: N switches, one shared
+    frontend controller, a :class:`ControllerPool` of
+    ``config.controllers`` members."""
+    if switches < 1:
+        raise ValueError("need at least one switch")
+    config = config or pool_chaos_config()
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    nodes = [network.add(VSwitch(sim, f"sw{i}", OPEN_VSWITCH))
+             for i in range(switches)]
+    controller = OpenFlowController(sim, network)
+    for node in nodes:
+        controller.register_switch(node)
+    pool = ControllerPool(config)
+    controller.add_app(pool)
+    for node in nodes:
+        pool.manage(node.name)
+    return PoolDeployment(sim=sim, network=network, controller=controller,
+                          pool=pool, switches=nodes, config=config)
+
+
+# ----------------------------------------------------------------------
+# Traffic: fabricated Packet-Ins, deterministic (no RNG draws)
+# ----------------------------------------------------------------------
+class PoolTraffic:
+    """Drives Packet-Ins into the switches' control channels.
+
+    Fully deterministic: fixed inter-arrival (``1 / rate_fps``),
+    round-robin across switches, flow five-tuples cycling through
+    ``flows_per_switch`` source ports per switch — so repeated packets
+    of the same flow exercise the owner-dedup path and new ports
+    exercise fresh installs."""
+
+    def __init__(self, sim: Simulator, switches: Sequence[VSwitch],
+                 flows_per_switch: int = 64):
+        if not switches:
+            raise ValueError("need at least one switch to drive")
+        self.sim = sim
+        self.switches = list(switches)
+        self.flows_per_switch = flows_per_switch
+        self.emitted = 0
+
+    def start(self, at: float, stop_at: float, rate_fps: float) -> None:
+        """Emit from absolute sim time ``at`` until ``stop_at``."""
+        if rate_fps <= 0 or stop_at <= at:
+            raise ValueError("need a positive rate and a non-empty window")
+        delay = max(0.0, at - self.sim.now)
+        Process(self.sim, self._drive(stop_at, rate_fps), start_delay=delay)
+
+    def _drive(self, stop_at: float, rate_fps: float):
+        interval = 1.0 / rate_fps
+        index = 0
+        while self.sim.now < stop_at:
+            switch = self.switches[index % len(self.switches)]
+            slot = (index // len(self.switches)) % self.flows_per_switch
+            packet = Packet(
+                src_ip=f"10.1.{index % len(self.switches)}.1",
+                dst_ip="10.0.0.10",
+                src_port=1024 + slot,
+                dst_port=80,
+                created_at=self.sim.now,
+            )
+            switch.channel.send_to_controller(PacketIn(
+                datapath_id=switch.name, packet=packet, in_port=1))
+            self.emitted += 1
+            index += 1
+            yield interval
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+def default_pool_plan(duration: float = 24.0) -> FaultPlan:
+    """One of each pool fault class against a 3-member pool: a member
+    crash (with restore), a lossy-bus window, a split-brain partition."""
+    if duration < 22.0:
+        raise ValueError("the default pool plan needs at least 22 s")
+    plan = FaultPlan()
+    plan.pool_member_crash(4.0, "c1", down_for=6.0)
+    plan.pool_election_loss(12.0, loss=0.4, duration=2.0)
+    plan.pool_partition(16.0, [["c0"], ["c1", "c2"]], duration=2.0)
+    return plan
+
+
+def randomized_pool_plan(
+    rng_registry,
+    duration: float,
+    members: Sequence[str],
+    intensity: float = 1.0,
+    stream: str = "pool.faults",
+    start: float = 2.0,
+) -> FaultPlan:
+    """Draw a pool fault timeline from ``rng_registry.stream(stream)``.
+
+    Kept here (not in :meth:`FaultPlan.randomized`) so the pool kinds
+    never enter that method's ``rng.choice(KINDS)`` draw sequence — the
+    golden chaos fixtures depend on it."""
+    from repro.faults.plan import POOL_KINDS
+
+    if duration <= start:
+        raise ValueError("duration must exceed the start offset")
+    members = sorted(members)
+    if len(members) < 2:
+        raise ValueError("need at least two pool members to break")
+    rng = rng_registry.stream(stream)
+    plan = FaultPlan()
+    count = max(1, round(3 * intensity))
+    window = duration - start
+    for _ in range(count):
+        at = start + rng.uniform(0.0, window * 0.7)
+        kind = rng.choice(POOL_KINDS)
+        if kind == "pool_member_crash":
+            plan.pool_member_crash(at, rng.choice(members),
+                                   down_for=rng.uniform(2.0, window * 0.3))
+        elif kind == "pool_election_loss":
+            plan.pool_election_loss(at, loss=rng.uniform(0.2, 0.6),
+                                    duration=rng.uniform(1.0, 3.0))
+        else:  # pool_partition
+            split = rng.randint(1, len(members) - 1)
+            plan.pool_partition(at, [members[:split], members[split:]],
+                                duration=rng.uniform(1.0, 3.0))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class PoolChaosReport:
+    """Everything the CLI/tests/benchmark consumers assert or print."""
+
+    seed: int
+    duration: float
+    controllers: int
+    switches: int
+    faults_injected: int
+    fault_counts: Dict[str, int]
+    fault_log_jsonl: str
+    pool_events: List[Dict[str, object]]
+    pool_events_jsonl: str
+    violations: List[Violation]
+    invariant_checks: int
+    pool_grace: float
+    packet_ins_total: int
+    packet_ins_handled: int
+    orphaned: int
+    drained: int
+    orphan_dropped: int
+    double_installs: int
+    stale_role_errors: int
+    flow_reclaims: int
+    handoffs_acked: int
+    elections: int
+    failover_windows: List[float]
+    migration_latencies: List[float]
+    members_live: int
+    members_total: int
+    acked_master: Dict[str, str]
+    bus: Dict[str, int] = field(default_factory=dict)
+    # -- health engine (optional) ---------------------------------------
+    health_enabled: bool = False
+    alert_timeline: List[Dict[str, object]] = field(default_factory=list)
+    alert_timeline_jsonl: str = ""
+    scorecard: Optional[object] = None
+
+    @property
+    def healthy(self) -> bool:
+        """No invariant violations, nothing double-handled, every
+        managed switch ended the run with a live acked master."""
+        return (not self.violations and self.double_installs == 0
+                and len(self.acked_master) == self.switches)
+
+
+def _finish_report(dep: PoolDeployment, injector: FaultInjector,
+                   checker: InvariantChecker, duration: float,
+                   health_fields: Dict[str, object]) -> PoolChaosReport:
+    pool = dep.pool
+    handled = sum(m.packet_ins_handled for m in pool.members.values())
+    elections = sum(1 for e in pool.events if e["event"] == "leader-elected")
+    live_masters = {dpid: master for dpid, master in pool.acked_master.items()
+                    if pool.members[master].alive}
+    return PoolChaosReport(
+        seed=dep.sim.rng.seed,
+        duration=duration,
+        controllers=dep.config.controllers,
+        switches=len(dep.switches),
+        faults_injected=injector.injected,
+        fault_counts=dict(injector.counts),
+        fault_log_jsonl=injector.log_jsonl(),
+        pool_events=list(pool.events),
+        pool_events_jsonl=pool.events_jsonl(),
+        violations=list(checker.violations),
+        invariant_checks=checker.checks_run,
+        pool_grace=pool_grace(dep.config),
+        packet_ins_total=pool.packet_ins_total,
+        packet_ins_handled=handled,
+        orphaned=pool.orphaned,
+        drained=pool.drained,
+        orphan_dropped=pool.orphan_dropped,
+        double_installs=pool.double_installs,
+        stale_role_errors=pool.stale_role_errors,
+        flow_reclaims=pool.flow_reclaims,
+        handoffs_acked=len([e for e in pool.events
+                            if e["event"] == "role-acked"]),
+        elections=elections,
+        failover_windows=list(pool.failover_windows),
+        migration_latencies=list(pool.migration_latencies),
+        members_live=pool.live_member_count(),
+        members_total=len(pool.members),
+        acked_master=live_masters,
+        bus={
+            "sent": pool.bus.sent,
+            "delivered": pool.bus.delivered,
+            "dropped": pool.bus.dropped,
+            "partition_blocked": pool.bus.partition_blocked,
+        },
+        **health_fields,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario runners
+# ----------------------------------------------------------------------
+def run_pool_chaos(
+    seed: int = 1,
+    duration: float = 24.0,
+    controllers: int = 3,
+    switches: int = 6,
+    rate_fps: float = 300.0,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[ScotchConfig] = None,
+    invariant_interval: float = 0.5,
+    health: bool = False,
+    health_interval: float = 0.25,
+    detection_tolerance: float = 1.0,
+) -> PoolChaosReport:
+    """Run the pool chaos scenario and return its report.
+
+    With ``health=True`` a read-only health engine streams the default
+    SLI catalog plus :func:`repro.obs.health.pool_slis` through the
+    built-in rules plus :func:`repro.obs.rules.pool_rules`, and the
+    report gains the alert timeline and a detection scorecard joined
+    against the injector's ground truth."""
+    from repro.obs import Observability, get_default_obs, observed
+
+    config = config or pool_chaos_config(controllers)
+    outer = get_default_obs()
+    context = nullcontext()
+    if health and not outer.metrics.enabled:
+        private = Observability(trace=False, metrics=True)
+        if getattr(outer, "enabled", False):
+            private.tracer = outer.tracer
+            private.profiler = outer.profiler
+        context = observed(private)
+
+    with context:
+        dep = build_pool_deployment(seed=seed, switches=switches,
+                                    config=config)
+        plan = plan if plan is not None else default_pool_plan(duration)
+
+        engine = None
+        if health:
+            from repro.obs.health import HealthEngine, default_slis, pool_slis
+            from repro.obs.rules import builtin_rules, pool_rules
+
+            engine = HealthEngine(
+                dep.sim, get_default_obs().metrics,
+                rules=builtin_rules() + pool_rules(),
+                slis=default_slis() + pool_slis(),
+                interval=health_interval)
+            engine.start()
+
+        traffic = PoolTraffic(dep.sim, dep.switches)
+        traffic.start(at=0.5, stop_at=duration - 1.0, rate_fps=rate_fps)
+
+        injector = FaultInjector(dep.sim, dep.network, dep.controller,
+                                 plan, pool=dep.pool)
+        injector.start()
+        checker = InvariantChecker(dep.sim, dep.network, overlay=None,
+                                   pool=dep.pool,
+                                   grace=pool_grace(config),
+                                   interval=invariant_interval)
+        checker.start()
+
+        dep.sim.run(until=duration)
+        checker.check_now()
+
+    health_fields: Dict[str, object] = {}
+    if engine is not None:
+        from repro.obs.scorecard import build_scorecard, truth_windows
+
+        engine.stop()
+        truth = truth_windows(injector.log, run_end=duration)
+        card = build_scorecard(engine.rules, engine.timeline, truth,
+                               run_end=duration,
+                               tolerance=detection_tolerance)
+        health_fields = dict(
+            health_enabled=True,
+            alert_timeline=list(engine.timeline),
+            alert_timeline_jsonl=engine.timeline_jsonl(),
+            scorecard=card,
+        )
+
+    return _finish_report(dep, injector, checker, duration, health_fields)
+
+
+def run_pool_autoscale(
+    seed: int = 1,
+    duration: float = 30.0,
+    switches: int = 6,
+    base_rate: float = 200.0,
+    burst_rate: float = 6000.0,
+    burst_start: float = 5.0,
+    burst_stop: float = 14.0,
+    config: Optional[ScotchConfig] = None,
+    invariant_interval: float = 0.5,
+) -> PoolChaosReport:
+    """The flash-crowd autoscale scenario: the pool starts with ONE
+    member; a burst drives pool-wide PPS over the high-water mark, the
+    leader spawns members up to the ceiling; after the burst the
+    cooldown drains and retires them back toward the floor."""
+    config = config or ScotchConfig(
+        controllers=1,
+        pool_min_controllers=1,
+        pool_max_controllers=3,
+        pool_lease_interval=0.25,
+        pool_lease_timeout=0.75,
+        pool_election_timeout=0.5,
+        pool_bus_delay=0.005,
+        pool_scale_up_pps=1000.0,
+        pool_scale_up_hold=0.5,
+        pool_scale_down_pps=500.0,
+        pool_scale_cooldown=3.0,
+        pool_warmup=1.5,
+        pool_rebalance_interval=0.5,
+        heartbeat_interval=0.25,
+        heartbeat_miss_limit=2,
+        reliable_install_timeout=0.2,
+        reliable_install_timeout_cap=1.0,
+        reliable_install_max_retries=3,
+    )
+    dep = build_pool_deployment(seed=seed, switches=switches, config=config)
+    base = PoolTraffic(dep.sim, dep.switches)
+    base.start(at=0.5, stop_at=duration - 1.0, rate_fps=base_rate)
+    burst = PoolTraffic(dep.sim, dep.switches, flows_per_switch=512)
+    burst.start(at=burst_start, stop_at=burst_stop, rate_fps=burst_rate)
+
+    injector = FaultInjector(dep.sim, dep.network, dep.controller,
+                             FaultPlan(), pool=dep.pool)
+    injector.start()
+    checker = InvariantChecker(dep.sim, dep.network, overlay=None,
+                               pool=dep.pool, grace=pool_grace(config),
+                               interval=invariant_interval)
+    checker.start()
+    dep.sim.run(until=duration)
+    checker.check_now()
+    return _finish_report(dep, injector, checker, duration, {})
+
+
+def peak_live_members(report: PoolChaosReport) -> int:
+    """Reconstruct the peak live-member count from the event log."""
+    live = report.controllers
+    peak = live
+    for event in report.pool_events:
+        if event["event"] in ("member-spawn", "member-restore"):
+            live += 1
+        elif event["event"] in ("member-crash", "member-retired"):
+            live -= 1
+        peak = max(peak, live)
+    return peak
+
+
+def format_pool_report(report: PoolChaosReport) -> str:
+    """A human-readable pool report (used by the CLI)."""
+    from repro.testbed.report import format_table
+
+    fault_rows = [[kind, count]
+                  for kind, count in sorted(report.fault_counts.items())]
+    sections = []
+    if fault_rows:
+        sections.append(format_table(
+            ["fault class", "injected"], fault_rows,
+            title=f"Pool chaos — seed {report.seed}, {report.duration:.0f}s, "
+                  f"{report.controllers} controllers, "
+                  f"{report.switches} switches"))
+    failover = (f"{max(report.failover_windows):.3f}s max over "
+                f"{len(report.failover_windows)}"
+                if report.failover_windows else "none")
+    migration = (f"{max(report.migration_latencies):.3f}s max over "
+                 f"{len(report.migration_latencies)}"
+                 if report.migration_latencies else "none")
+    sections.append(format_table(
+        ["measure", "value"],
+        [
+            ["packet-ins (total/handled)",
+             f"{report.packet_ins_total}/{report.packet_ins_handled}"],
+            ["orphaned / drained / dropped",
+             f"{report.orphaned}/{report.drained}/{report.orphan_dropped}"],
+            ["role handoffs acked", report.handoffs_acked],
+            ["elections", report.elections],
+            ["failover windows", failover],
+            ["migration latencies", migration],
+            ["flow reclaims", report.flow_reclaims],
+            ["double installs", report.double_installs],
+            ["stale RoleMods rejected", report.stale_role_errors],
+            ["members (live/total)",
+             f"{report.members_live}/{report.members_total}"],
+            ["bus sent/delivered/dropped/blocked",
+             f"{report.bus['sent']}/{report.bus['delivered']}/"
+             f"{report.bus['dropped']}/{report.bus['partition_blocked']}"],
+            ["invariant checks / violations",
+             f"{report.invariant_checks}/{len(report.violations)}"],
+            ["pool grace window (s)", f"{report.pool_grace:.2f}"],
+        ],
+        title="Pool report"))
+    if report.violations:
+        sections.append(format_table(
+            ["t (s)", "invariant", "detail"],
+            [[f"{v.time:.2f}", v.name, v.detail]
+             for v in report.violations[:20]],
+            title="Invariant violations"))
+    if report.scorecard is not None:
+        from repro.obs.scorecard import format_scorecard
+
+        sections.append(format_scorecard(report.scorecard))
+    verdict = "HEALTHY" if report.healthy else "DEGRADED"
+    sections.append(
+        f"verdict: {verdict} ({len(report.violations)} violations, "
+        f"{report.double_installs} double installs, "
+        f"{len(report.acked_master)}/{report.switches} switches mastered)")
+    return "\n\n".join(sections)

@@ -21,6 +21,7 @@ from repro.openflow.messages import (
     PacketOut,
     PortStatsReply,
     PortStatsRequest,
+    RoleStatus,
     SampleReport,
     wire_bytes,
 )
@@ -151,6 +152,9 @@ class OpenFlowController:
         elif isinstance(message, BarrierReply):
             for app in self.apps:
                 app.barrier_reply(dpid, message)
+        elif isinstance(message, RoleStatus):
+            for app in self.apps:
+                app.role_status(dpid, message)
         else:
             raise TypeError(f"controller cannot handle {type(message).__name__}")
 

@@ -17,6 +17,17 @@ match+priority entry) with capped exponential backoff, up to
 Sends can be *keyed*: a new send with the same key supersedes a
 still-retrying older one, so a burst of group refreshes during a flap
 converges on the newest bucket set instead of replaying stale ones.
+:meth:`supersede` cancels a keyed batch without a replacement — the
+resync path uses it to kill pre-outage batches whose retries would
+otherwise land *after* the fresh state push and resurrect stale
+entries.
+
+The sender itself can be stopped and restarted (controller outage,
+pool-member handoff): :meth:`stop` freezes every in-flight batch —
+retry timers cancelled, attempt counts preserved — while late barrier
+replies still ack normally; :meth:`start` replays the surviving
+batches (idempotent re-install) and resumes their backoff schedule
+where it left off.
 
 Caveat: a barrier proves *processing*, not table commitment — a
 FlowMod can still be lost to the OFA's probabilistic insertion model
@@ -68,6 +79,9 @@ class ReliableSender:
         self._await_ack: Dict[int, _PendingSend] = {}
         #: key -> latest batch for that key (for supersession).
         self._by_key: Dict[Hashable, _PendingSend] = {}
+        #: Batches submitted or frozen while stopped, replayed on start().
+        self._paused: List[_PendingSend] = []
+        self._running = True
         self.sent = 0
         self.acked = 0
         self.retries = 0
@@ -101,7 +115,76 @@ class ReliableSender:
                     self._await_ack.pop(previous.barrier_xid, None)
             self._by_key[key] = entry
         self.sent += 1
+        if not self._running:
+            self._paused.append(entry)
+            return
         self._transmit(entry)
+
+    def supersede(self, key: Hashable) -> bool:
+        """Cancel the in-flight batch for ``key`` without replacing it.
+
+        Returns True if a live batch was cancelled.  Used by resync: the
+        full state re-push that follows re-claims the key with current
+        state, so the stale batch's pending retries must die first."""
+        entry = self._by_key.pop(key, None)
+        if entry is None or entry.superseded:
+            return False
+        entry.superseded = True
+        self.superseded += 1
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        if entry.barrier_xid is not None:
+            self._await_ack.pop(entry.barrier_xid, None)
+        return True
+
+    def supersede_all(self) -> int:
+        """Cancel every in-flight keyed batch (resync entry point)."""
+        count = 0
+        for key in list(self._by_key):
+            if self.supersede(key):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Freeze the sender: cancel retry timers, keep in-flight state.
+
+        Attempt counts survive, so a batch resumes its backoff schedule
+        on :meth:`start` rather than getting a fresh retry budget.  Late
+        barrier replies arriving while stopped still ack normally."""
+        if not self._running:
+            return
+        self._running = False
+        for entry in self._await_ack.values():
+            if entry.timer is not None:
+                entry.timer.cancel()
+                entry.timer = None
+
+    def start(self) -> None:
+        """Resume: replay every surviving batch (idempotent re-install).
+
+        Batches whose retry budget was already exhausted when the stop
+        hit are abandoned instead of replayed, so the invariant that
+        attempts never exceed ``max_retries + 1`` holds across
+        stop()/start() cycles."""
+        if self._running:
+            return
+        self._running = True
+        frozen = [e for e in self._await_ack.values() if not e.superseded]
+        self._await_ack.clear()
+        replay = frozen + [e for e in self._paused if not e.superseded]
+        self._paused = []
+        for entry in replay:
+            entry.barrier_xid = None
+            if entry.attempts > self.config.reliable_install_max_retries:
+                self.abandoned += 1
+                self._m_abandoned.inc()
+                self._forget_key(entry)
+                if entry.on_abandon is not None:
+                    entry.on_abandon()
+                continue
+            self._transmit(entry)
 
     def pending(self) -> int:
         """Batches awaiting acknowledgement (retry timers live)."""
@@ -116,6 +199,9 @@ class ReliableSender:
     # ------------------------------------------------------------------
     def _transmit(self, entry: _PendingSend) -> None:
         if entry.superseded:
+            return
+        if not self._running:
+            self._paused.append(entry)
             return
         handle = self.controller.datapaths.get(entry.dpid)
         if handle is None:

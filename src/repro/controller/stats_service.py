@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
+from repro.sim.process import PeriodicTimer
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import OpenFlowController
 
@@ -37,28 +39,26 @@ class StatsPoller:
         self._m_departed = controller.sim.obs.metrics.counter(
             "stats.targets_departed"
         )
-        self._running = False
-        # Held so stop() can cancel the pending tick; otherwise a
-        # stop()/start() cycle doubles the tick chain (same bug and fix
-        # as the heartbeat and congestion monitors).
-        self._tick_event = None
+        # Restart-safe tick chain (sim.process.PeriodicTimer owns the
+        # pending event, so stop()/start() can never double the chain).
+        self._timer = PeriodicTimer(controller.sim, interval, self._tick)
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _tick_event(self):
+        return self._timer.event
 
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._tick_event = self.controller.sim.schedule(
-            self.interval, self._tick, daemon=True
-        )
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         for dpid in self.targets():
             if dpid not in self.controller.datapaths:
@@ -75,6 +75,4 @@ class StatsPoller:
                 continue
             self.controller.request_flow_stats(dpid, table_id=self.table_id)
             self.polls_sent += 1
-        self._tick_event = self.controller.sim.schedule(
-            self.interval, self._tick, daemon=True
-        )
+        self._timer.rearm()

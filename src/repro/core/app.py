@@ -595,6 +595,13 @@ class ScotchApp(BaseApp):
         if self.heartbeat is not None:
             self.heartbeat.stop()
             self.heartbeat.start()
+        if self.reliable is not None:
+            # A pre-outage batch still retrying (e.g. a failover GroupMod
+            # whose barrier ack never came back) must not land *after*
+            # the fresh pushes below and resurrect a stale bucket set.
+            # The re-pushes re-claim every key that matters with current
+            # state, so cancel the whole in-flight keyed set first.
+            self.reliable.supersede_all()
         for dpid in sorted(self.groups_installed):
             if dpid not in self.controller.datapaths:
                 continue

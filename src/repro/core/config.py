@@ -141,6 +141,43 @@ class ScotchConfig:
     #: counted — the invariant checker asserts the counter stays sane).
     reliable_install_max_retries: int = 5
 
+    # -- controller pool (docs/cluster.md, §beyond-paper) --------------------
+    #: Number of controller-pool members.  1 (the default) builds no
+    #: pool at all — the single-controller deployment is untouched and
+    #: stays bit-identical to the pre-pool seed.
+    controllers: int = 1
+    #: Autoscaling floor / ceiling on live pool members.
+    pool_min_controllers: int = 1
+    pool_max_controllers: int = 4
+    #: Leader lease: the leader broadcasts a beat this often ...
+    pool_lease_interval: float = 0.5
+    #: ... and a member that hears nothing for this long starts an
+    #: election (candidacy with term + 1).
+    pool_lease_timeout: float = 2.0
+    #: A candidate that hears no higher-precedence claim for this long
+    #: assumes leadership.
+    pool_election_timeout: float = 1.0
+    #: Pool bus one-way delivery delay, seconds (member-to-member
+    #: election and coordination traffic).
+    pool_bus_delay: float = 0.01
+    #: Scale up when pool-wide Packet-In PPS stays above this ...
+    pool_scale_up_pps: float = 4000.0
+    #: ... for this long (hysteresis hold, seconds).
+    pool_scale_up_hold: float = 1.0
+    #: Scale down when pool-wide PPS stays below this for
+    #: ``pool_scale_cooldown`` seconds.
+    pool_scale_down_pps: float = 500.0
+    pool_scale_cooldown: float = 5.0
+    #: Minimum spacing between any two scale actions (warmup guard:
+    #: a freshly spawned member must see traffic before the next
+    #: decision).
+    pool_warmup: float = 2.0
+    #: Load-rebalance evaluation period, seconds.
+    pool_rebalance_interval: float = 1.0
+    #: Migrate a switch when the busiest member carries more than this
+    #: multiple of the idlest member's Packet-In load.
+    pool_imbalance_ratio: float = 2.0
+
     #: Re-send the activation rule set this many times (the activation
     #: FlowMods themselves cross the congested OFA; re-sends are
     #: idempotent and make activation robust to its insertion loss).
@@ -171,3 +208,23 @@ class ScotchConfig:
             raise ValueError("sample_export_interval must be positive")
         if self.hybrid_poll_multiplier < 1:
             raise ValueError("hybrid_poll_multiplier must be >= 1")
+        if self.controllers < 1:
+            raise ValueError("controllers must be >= 1")
+        if not 1 <= self.pool_min_controllers <= self.pool_max_controllers:
+            raise ValueError("need 1 <= pool_min_controllers <= pool_max_controllers")
+        if self.pool_lease_interval <= 0 or self.pool_election_timeout <= 0:
+            raise ValueError("pool lease interval and election timeout must be positive")
+        if self.pool_lease_timeout <= self.pool_lease_interval:
+            raise ValueError("pool_lease_timeout must exceed pool_lease_interval")
+        if self.pool_bus_delay < 0:
+            raise ValueError("pool_bus_delay must be non-negative")
+        if self.pool_scale_down_pps >= self.pool_scale_up_pps:
+            raise ValueError("pool_scale_down_pps must be below pool_scale_up_pps")
+        if self.pool_scale_up_hold < 0 or self.pool_scale_cooldown < 0:
+            raise ValueError("pool scale hold/cooldown must be non-negative")
+        if self.pool_warmup < 0:
+            raise ValueError("pool_warmup must be non-negative")
+        if self.pool_rebalance_interval <= 0:
+            raise ValueError("pool_rebalance_interval must be positive")
+        if self.pool_imbalance_ratio <= 1:
+            raise ValueError("pool_imbalance_ratio must exceed 1")

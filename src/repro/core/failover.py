@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from repro.core.config import ScotchConfig
 from repro.core.overlay import OverlayError, ScotchOverlay
+from repro.sim.process import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controller.controller import OpenFlowController
@@ -67,34 +68,33 @@ class HeartbeatMonitor:
         #: Refreshes skipped because no live vSwitch serves the switch
         #: (backups exhausted) — the degraded mode of §5.6 failover.
         self.degraded_refreshes = 0
-        self._running = False
-        #: Handle of the next scheduled tick, cancelled by stop() so a
-        #: stop()/start() cycle cannot leave two tick chains running.
-        self._tick_event: Optional["Event"] = None
+        #: Restart-safe tick chain (sim.process.PeriodicTimer owns the
+        #: pending event, so stop()/start() can never double the chain).
+        self._timer = PeriodicTimer(sim, config.heartbeat_interval, self._tick)
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _tick_event(self) -> Optional["Event"]:
+        return self._timer.event
 
     def targets(self):
         return list(self.overlay.mesh) + list(self.overlay.backups)
 
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._tick_event = self.sim.schedule(
-            self.config.heartbeat_interval, self._tick, daemon=True
-        )
+        self._timer.start()
 
     def stop(self) -> None:
         """Stop ticking and forget outstanding miss counts — a restarted
         monitor (e.g. a standby controller taking over) must not declare
         a vSwitch dead from echoes *it* never sent."""
-        self._running = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
         self._pending.clear()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         for dpid in self.targets():
             if dpid not in self.controller.datapaths:
@@ -107,9 +107,7 @@ class HeartbeatMonitor:
                 self._declare_dead(dpid)
             self._pending[dpid] = outstanding + 1
             self.controller.echo(dpid)
-        self._tick_event = self.sim.schedule(
-            self.config.heartbeat_interval, self._tick, daemon=True
-        )
+        self._timer.rearm()
 
     def echo_reply(self, dpid: str, message: "EchoReply") -> None:
         self._pending[dpid] = 0

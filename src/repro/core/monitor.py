@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.core.config import ScotchConfig
 from repro.metrics.meters import RateEstimator
+from repro.sim.process import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Event, Simulator
@@ -51,12 +52,18 @@ class CongestionMonitor:
         #: pressure, which is invisible in the rates while mitigated).
         self.pressure_check = pressure_check
         self._switches: Dict[str, _SwitchState] = {}
-        self._running = False
-        #: Handle of the next scheduled tick — held so stop() can cancel
-        #: it; a start() after stop() must not leave the old pending tick
-        #: alive (it would re-arm itself and double the tick chain).
-        self._tick_event: Optional["Event"] = None
+        #: Restart-safe tick chain (sim.process.PeriodicTimer owns the
+        #: pending event, so stop()/start() can never double the chain).
+        self._timer = PeriodicTimer(sim, config.monitor_interval, self._tick)
         self._obs = sim.obs
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _tick_event(self) -> Optional["Event"]:
+        return self._timer.event
 
     def watch(self, dpid: str, profile: "SwitchProfile") -> None:
         if dpid not in self._switches:
@@ -117,21 +124,13 @@ class CongestionMonitor:
     # Periodic evaluation
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._tick_event = self.sim.schedule(
-            self.config.monitor_interval, self._tick, daemon=True
-        )
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         for dpid, state in self._switches.items():
             rate = state.meter.rate(self.sim.now)
@@ -163,6 +162,4 @@ class CongestionMonitor:
                         self.on_cleared(dpid)
                 else:
                     state.below_since = None
-        self._tick_event = self.sim.schedule(
-            self.config.monitor_interval, self._tick, daemon=True
-        )
+        self._timer.rearm()

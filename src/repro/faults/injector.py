@@ -37,10 +37,14 @@ class FaultInjector:
         network: "Network",
         controller: Optional["OpenFlowController"] = None,
         plan: Optional[FaultPlan] = None,
+        pool=None,
     ):
         self.sim = sim
         self.network = network
         self.controller = controller
+        #: The controller pool (docs/cluster.md), when the deployment
+        #: runs one — required by the ``pool_*`` fault kinds.
+        self.pool = pool
         self.plan = plan if plan is not None else FaultPlan()
         #: Chronological record of every action taken; stable key order.
         self.log: List[Dict[str, object]] = []
@@ -61,7 +65,12 @@ class FaultInjector:
             "vswitch_crash": self._inject_vswitch_crash,
             "ofa_stall": self._inject_ofa_stall,
             "controller_outage": self._inject_controller_outage,
+            "pool_member_crash": self._inject_pool_member_crash,
+            "pool_election_loss": self._inject_pool_election_loss,
+            "pool_partition": self._inject_pool_partition,
         }
+        if self.pool is None and any(e.kind.startswith("pool_") for e in self.plan):
+            raise ValueError("plan contains pool faults but no pool was given")
         for event in self.plan:
             delay = max(0.0, event.time - self.sim.now)
             self.sim.schedule(delay, handlers[event.kind], event, daemon=True)
@@ -176,6 +185,40 @@ class FaultInjector:
                 resync = getattr(app, "resync", None)
                 if callable(resync):
                     resync()
+        self._record(event, "clear")
+
+    # -- pool faults (docs/cluster.md) ---------------------------------
+    def _inject_pool_member_crash(self, event: FaultEvent) -> None:
+        self.pool.crash_member(event.target)
+        self._record(event, "inject")
+        if event.duration > 0:
+            self.sim.schedule(event.duration, self._restore_pool_member,
+                              event, daemon=True)
+
+    def _restore_pool_member(self, event: FaultEvent) -> None:
+        self.pool.restore_member(event.target)
+        self._record(event, "clear")
+
+    def _inject_pool_election_loss(self, event: FaultEvent) -> None:
+        loss = float(event.args["loss"])
+        self.pool.bus.loss = loss
+        self._record(event, "inject", loss=loss)
+        self.sim.schedule(event.duration, self._clear_pool_election_loss,
+                          event, daemon=True)
+
+    def _clear_pool_election_loss(self, event: FaultEvent) -> None:
+        self.pool.bus.loss = 0.0
+        self._record(event, "clear")
+
+    def _inject_pool_partition(self, event: FaultEvent) -> None:
+        groups = [list(g) for g in event.args["groups"]]
+        self.pool.bus.set_partition(groups)
+        self._record(event, "inject", groups=groups)
+        self.sim.schedule(event.duration, self._heal_pool_partition,
+                          event, daemon=True)
+
+    def _heal_pool_partition(self, event: FaultEvent) -> None:
+        self.pool.bus.heal_partition()
         self._record(event, "clear")
 
     # ------------------------------------------------------------------

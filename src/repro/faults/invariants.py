@@ -19,6 +19,21 @@ plane must converge back to a consistent state.  Checks:
 4. **Scheduler backlogs bounded.**  The per-switch Fig. 7 install queues
    must not grow without bound while faults are active.
 
+When the deployment runs a controller pool (docs/cluster.md), three
+pool checks join the list:
+
+5. **Single master per switch.**  At most one live pool member may
+   believe it masters a switch; overlapping beliefs must converge
+   within the pool grace window while the pool bus is healthy (during
+   a bus partition or loss window the overlap is tolerated — the
+   generation fencing keeps it harmless — and the clock restarts when
+   the bus heals).
+6. **Bounded orphan windows.**  A switch whose master died must have a
+   new barrier-acked master within the pool grace window (lease expiry
+   + election + one reliable handoff budget).
+7. **No double-handled flow setups.**  The pool's double-install
+   tripwire counter must stay zero.
+
 Violations carry the sim time and a human-readable detail string;
 ``check_now()`` can also be called once post-recovery for a final
 verdict.
@@ -31,6 +46,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import SCOTCH_GROUP_ID
 from repro.core.overlay import OverlayError
+from repro.sim.process import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.app import ScotchApp
@@ -66,11 +82,12 @@ class InvariantChecker:
         self,
         sim: "Simulator",
         network: "Network",
-        overlay: "ScotchOverlay",
+        overlay: Optional["ScotchOverlay"],
         scotch: Optional["ScotchApp"] = None,
         interval: float = 0.5,
         grace: Optional[float] = None,
         backlog_limit: int = 10_000,
+        pool=None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -78,8 +95,25 @@ class InvariantChecker:
         self.network = network
         self.overlay = overlay
         self.scotch = scotch
+        #: The controller pool (docs/cluster.md); enables checks 5-7.
+        self.pool = pool
+        if pool is not None:
+            from repro.cluster.pool import pool_grace
+
+            self._pool_grace = pool_grace(pool.config)
+        else:
+            self._pool_grace = 0.0
+        self._multi_master_since: Dict[str, float] = {}
+        self._orphan_flagged: Dict[str, float] = {}
+        self._double_installs_seen = 0
         self.interval = interval
-        self.grace = grace if grace is not None else grace_window(overlay.config)
+        if grace is not None:
+            self.grace = grace
+        else:
+            # Pool-only deployments have no overlay; the pool's config
+            # carries the same reliability knobs.
+            source = overlay if overlay is not None else pool
+            self.grace = grace_window(source.config)
         self.backlog_limit = backlog_limit
         self.violations: List[Violation] = []
         #: Called with each :class:`Violation` as it is recorded — the
@@ -90,33 +124,39 @@ class InvariantChecker:
         #: seen; cleared when the bucket heals.
         self._stale_since: Dict[tuple, float] = {}
         self._pending_since: Dict[object, float] = {}
-        self._running = False
+        # Restart-safe tick chain.  The previous flag-only stop() left
+        # the pending tick alive, so a stop()/start() cycle doubled the
+        # check chain — the exact bug class PeriodicTimer exists to kill.
+        self._timer = PeriodicTimer(sim, interval, self._tick)
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         self.check_now()
-        self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._timer.rearm()
 
     # ------------------------------------------------------------------
     def check_now(self) -> List[Violation]:
         """Run every check; returns violations added by this call."""
         before = len(self.violations)
         self.checks_run += 1
-        self._check_group_buckets()
-        self._check_reliable_layer()
+        if self.overlay is not None:
+            self._check_group_buckets()
+            self._check_reliable_layer()
         self._check_pending_flows()
         self._check_scheduler_backlog()
+        self._check_pool()
         return self.violations[before:]
 
     def _violate(self, name: str, detail: str) -> None:
@@ -218,3 +258,57 @@ class InvariantChecker:
                     "scheduler-backlog-unbounded",
                     f"{name} install backlog {backlog} (limit {self.backlog_limit})",
                 )
+
+    # ------------------------------------------------------------------
+    # Controller-pool checks (docs/cluster.md)
+    # ------------------------------------------------------------------
+    def _check_pool(self) -> None:
+        pool = self.pool
+        if pool is None:
+            return
+        now = self.sim.now
+        # 5. Single master per switch.  While the bus is impaired the
+        # overlap clock resets: split-brain *belief* is expected there
+        # and the generation fencing keeps it harmless; what must not
+        # happen is overlap persisting on a healthy bus.
+        bus_healthy = (pool.bus is not None and not pool.bus._partition
+                       and pool.bus.loss == 0.0)
+        if not bus_healthy:
+            self._multi_master_since.clear()
+        else:
+            seen = set()
+            for dpid in sorted(pool.switch_ids):
+                beliefs = pool.master_beliefs(dpid)
+                if len(beliefs) <= 1:
+                    continue
+                seen.add(dpid)
+                since = self._multi_master_since.setdefault(dpid, now)
+                if now - since > self._pool_grace:
+                    self._violate(
+                        "pool-multi-master",
+                        f"{dpid} claimed by {beliefs} for {now - since:.2f}s "
+                        f"(> pool grace {self._pool_grace:.2f}s)",
+                    )
+                    self._multi_master_since[dpid] = now  # re-arm
+            for dpid in list(self._multi_master_since):
+                if dpid not in seen:
+                    del self._multi_master_since[dpid]
+        # 6. Bounded orphan windows.
+        for dpid in sorted(pool.orphan_since):
+            age = now - pool.orphan_since[dpid]
+            flagged = self._orphan_flagged.get(dpid)
+            if age > self._pool_grace and flagged != pool.orphan_since[dpid]:
+                self._violate(
+                    "pool-orphan-window",
+                    f"{dpid} masterless for {age:.2f}s "
+                    f"(> pool grace {self._pool_grace:.2f}s)",
+                )
+                self._orphan_flagged[dpid] = pool.orphan_since[dpid]
+        # 7. Exactly-once flow setup.
+        if pool.double_installs > self._double_installs_seen:
+            self._violate(
+                "pool-double-install",
+                f"{pool.double_installs} duplicate flow installs "
+                f"(was {self._double_installs_seen})",
+            )
+            self._double_installs_seen = pool.double_installs

@@ -31,6 +31,27 @@ Fault classes (the ``kind`` field):
     The controller goes dark for ``duration`` seconds (every channel
     severed); on expiry the standby takes over and apps providing a
     ``resync()`` hook re-establish their switch state.
+
+Pool fault classes (``POOL_KINDS`` — only meaningful against a
+deployment running a controller pool, docs/cluster.md):
+
+``pool_member_crash``
+    Crash pool member ``target``; restore it after ``duration`` seconds
+    (0 = stays down).  Its switches orphan until the leader promotes a
+    new master for each.
+``pool_election_loss``
+    Drop each pool-bus delivery with probability ``loss`` for
+    ``duration`` seconds (lossy east-west management network — beats,
+    claims and assigns all suffer).
+``pool_partition``
+    Split the pool bus into ``groups`` for ``duration`` seconds — the
+    split-brain scenario the generation fencing exists for.
+
+``POOL_KINDS`` is deliberately NOT part of ``KINDS``:
+:meth:`FaultPlan.randomized` draws ``rng.choice(KINDS)``, so extending
+that tuple would shift every randomized plan and break the golden
+chaos fixtures.  Pool faults are scripted explicitly (or drawn by
+:func:`repro.cluster.scenario.randomized_pool_plan`).
 """
 
 from __future__ import annotations
@@ -45,6 +66,15 @@ KINDS = (
     "vswitch_crash",
     "ofa_stall",
     "controller_outage",
+)
+
+#: Pool-only fault kinds — kept OUT of ``KINDS`` so randomized()'s
+#: ``rng.choice(KINDS)`` draw sequence (and with it every golden chaos
+#: fixture) is unchanged by the pool's existence.
+POOL_KINDS = (
+    "pool_member_crash",
+    "pool_election_loss",
+    "pool_partition",
 )
 
 DIRECTIONS = ("to_switch", "to_controller", "both")
@@ -63,8 +93,9 @@ class FaultEvent:
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("fault time must be non-negative")
-        if self.kind not in KINDS:
-            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.kind not in KINDS + POOL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; one of {KINDS + POOL_KINDS}")
         if self.duration < 0:
             raise ValueError("fault duration must be non-negative")
 
@@ -136,6 +167,34 @@ class FaultPlan:
         if duration <= 0:
             raise ValueError("outage duration must be positive")
         return self._add(FaultEvent(at, "controller_outage", "controller", duration))
+
+    # -- pool faults (docs/cluster.md) ---------------------------------
+    def pool_member_crash(self, at: float, member: str,
+                          down_for: float = 0.0) -> "FaultPlan":
+        return self._add(FaultEvent(at, "pool_member_crash", member, down_for))
+
+    def pool_election_loss(self, at: float, loss: float,
+                           duration: float) -> "FaultPlan":
+        if not 0 < loss <= 1:
+            raise ValueError("pool election loss must be in (0, 1]")
+        if duration <= 0:
+            raise ValueError("pool election loss duration must be positive")
+        return self._add(FaultEvent(
+            at, "pool_election_loss", "pool-bus", duration,
+            params=(("loss", loss),),
+        ))
+
+    def pool_partition(self, at: float, groups: Sequence[Sequence[str]],
+                       duration: float) -> "FaultPlan":
+        if len(groups) < 2 or any(not g for g in groups):
+            raise ValueError("pool partition needs >= 2 non-empty groups")
+        if duration <= 0:
+            raise ValueError("pool partition duration must be positive")
+        target = "|".join(",".join(g) for g in groups)
+        return self._add(FaultEvent(
+            at, "pool_partition", target, duration,
+            params=(("groups", tuple(tuple(g) for g in groups)),),
+        ))
 
     # ------------------------------------------------------------------
     # Introspection

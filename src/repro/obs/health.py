@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.obs.metrics import MetricsRegistry, bucket_quantile
 from repro.obs.rules import AlertRule, AlertState, builtin_rules
 from repro.obs.rules import timeline_jsonl as _timeline_jsonl
+from repro.sim.process import PeriodicTimer
 
 #: SLI kinds (see :class:`SliSpec`).
 KIND_RATE = "rate"
@@ -124,6 +125,27 @@ def default_slis() -> Tuple[SliSpec, ...]:
     )
 
 
+def pool_slis() -> Tuple[SliSpec, ...]:
+    """Controller-pool SLIs (docs/cluster.md) — appended to
+    :func:`default_slis` by pool scenarios; never part of the default
+    catalog, so single-controller health output is unchanged."""
+    return (
+        # Packet-Ins arriving at the pool frontend while their switch
+        # has no live acked master (the failover pain signal).
+        SliSpec("pool.orphan_rate", KIND_RATE, window=1.0,
+                patterns=("pool.orphaned",)),
+        # Aggregate Packet-In rate across the whole pool — the
+        # autoscaler's input, exposed for the flash-crowd rule.
+        SliSpec("pool.packet_in_rate", KIND_RATE, window=0.5,
+                patterns=("pool.packet_ins",)),
+        SliSpec("pool.members_live", KIND_GAUGE,
+                gauge_pattern="pool.members_live", agg="max"),
+        # Tail of the crash -> new-master-acked window.
+        SliSpec("pool.failover_p95", KIND_QUANTILE, window=5.0,
+                histogram="pool.failover_window_s", q=0.95),
+    )
+
+
 @dataclass
 class _Snapshot:
     t: float
@@ -185,25 +207,29 @@ class HealthEngine:
         #: happen.  Must be read-only over the model.
         self.on_transition: Optional[Any] = None
         self.ticks = 0
-        self._running = False
-        self._tick_event: Optional[Any] = None
+        # Restart-safe tick chain (sim.process.PeriodicTimer owns the
+        # pending event, so stop()/start() can never double the chain).
+        self._timer = PeriodicTimer(sim, interval, self._tick)
         self._history: List[_Snapshot] = []
         self._max_window = max((s.window for s in self.slis), default=1.0)
 
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _tick_event(self) -> Optional[Any]:
+        return self._timer.event
+
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
-        if self._running:
+        if self._timer.running:
             return
-        self._running = True
         self._history = [self._snapshot()]
-        self._tick_event = self.sim.schedule(self.interval, self._tick,
-                                             daemon=True)
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
 
     # -- tick -----------------------------------------------------------
     def _snapshot(self) -> _Snapshot:
@@ -217,7 +243,7 @@ class HealthEngine:
         )
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         now = self.sim.now
         snap = self._snapshot()
@@ -234,8 +260,7 @@ class HealthEngine:
                     self.on_transition(record)
         self.ticks += 1
         self._trim(now)
-        self._tick_event = self.sim.schedule(self.interval, self._tick,
-                                             daemon=True)
+        self._timer.rearm()
 
     def _trim(self, now: float) -> None:
         horizon = now - self._max_window - self.interval

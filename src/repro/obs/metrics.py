@@ -297,29 +297,32 @@ class MetricsSampler:
         self.interval = interval
         self.run = run
         self.ticks = 0
-        self._running = False
-        #: Handle of the next scheduled tick, cancelled by stop() so a
-        #: stop()/start() cycle cannot leave two tick chains running.
-        self._tick_event: Optional[Any] = None
+        # Restart-safe tick chain (sim.process.PeriodicTimer owns the
+        # pending event, so stop()/start() can never double the chain).
+        from repro.sim.process import PeriodicTimer
+
+        self._timer = PeriodicTimer(sim, interval, self._tick)
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _tick_event(self) -> Optional[Any]:
+        return self._timer.event
 
     def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self._tick_event = self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         self.registry.sample(self.sim.now, run=self.run)
         self.ticks += 1
-        self._tick_event = self.sim.schedule(self.interval, self._tick, daemon=True)
+        self._timer.rearm()
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:

@@ -185,6 +185,29 @@ def builtin_rules() -> List[AlertRule]:
     return parse_rules(BUILTIN_RULES_TEXT)
 
 
+#: Controller-pool rules (docs/cluster.md) — kept OUT of
+#: :data:`BUILTIN_RULES_TEXT` so single-controller deployments (and
+#: their golden alert timelines) never see them; pool scenarios append
+#: ``pool_rules()`` explicitly.  SLI catalog:
+#: :func:`repro.obs.health.pool_slis`.  Thresholds assume the default
+#: pool config (scale-up high-water 4000 pps).
+POOL_RULES_TEXT = """\
+# A pool member died (or a partition isolated it): its switches'
+# Packet-Ins land in the orphan buffer until the leader promotes a new
+# master for each.
+pool_member_down: pool.orphan_rate > 1 for 0.2 clear 0.5 detects pool_member_crash,pool_partition severity critical
+
+# Pool-wide flash crowd: aggregate Packet-In rate at the pool frontend
+# crosses the autoscaler's high-water mark.
+pool_flash_crowd: pool.packet_in_rate > 4000 for 0.5 clear 2000 detects flash_crowd severity warning
+"""
+
+
+def pool_rules() -> List[AlertRule]:
+    """The controller-pool failure-shape rules (parsed fresh per call)."""
+    return parse_rules(POOL_RULES_TEXT)
+
+
 class AlertState:
     """Runtime state machine of one rule.
 

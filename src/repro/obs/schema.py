@@ -31,6 +31,7 @@ SCHEMA_VERSIONS: Dict[str, int] = {
     "fault_log": 1,
     "alert_timeline": 1,
     "postmortem": 1,
+    "pool_events": 1,
 }
 
 

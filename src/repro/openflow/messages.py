@@ -256,3 +256,32 @@ class BarrierRequest(Message):
 class BarrierReply(Message):
     request_xid: int = 0
     datapath_id: str = ""
+
+
+@dataclass
+class RoleMod(Message):
+    """Controller -> switch: set the pool member mastering this switch.
+
+    The spirit of OFPT_ROLE_REQUEST with OFPCR_ROLE_MASTER: the elected
+    pool leader hands a switch to a member, fenced by a monotonically
+    increasing ``generation`` so a delayed RoleMod from a deposed
+    leader cannot roll the assignment back (OpenFlow's generation_id
+    check).  Stale generations earn an ErrorMessage with code
+    ``role_stale``."""
+
+    master_id: str = ""
+    generation: int = 0
+
+
+@dataclass
+class RoleStatus(Message):
+    """Switch -> controller: the switch's accepted (master, generation).
+
+    Sent in response to an applied RoleMod — the OFPT_ROLE_REPLY — and
+    the pool's switch-side ground truth for the single-master
+    invariant."""
+
+    request_xid: int = 0
+    datapath_id: str = ""
+    master_id: str = ""
+    generation: int = 0

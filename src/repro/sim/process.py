@@ -15,11 +15,77 @@ linear, readable control flow::
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.sim.engine import Event, Simulator
 
 DelayGenerator = Generator[float, None, Any]
+
+
+class PeriodicTimer:
+    """Restart-safe scheduling for periodic daemons.
+
+    Every periodic service in the controller (monitors, pollers,
+    samplers, the health engine, the pool timers) shares one shape: a
+    ``_tick`` that does work and reschedules itself.  The recurring bug
+    in that shape is stop()/start() doubling the chain — a stop() that
+    merely flips a flag leaves the pending tick alive, start() schedules
+    a second one, and the old tick re-arms itself when it fires.  This
+    helper owns the pending event so the bug class is impossible: stop()
+    always cancels it.
+
+    The timer deliberately schedules the *caller's own* callback (not a
+    wrapper), so causal-provenance callback names — and with them the
+    byte-identity of postmortem bundles — are unchanged by migrating a
+    daemon onto it.  Usage::
+
+        self._timer = PeriodicTimer(sim, interval, self._tick)
+
+        def _tick(self):
+            if not self._timer.running:
+                return
+            ... work ...
+            self._timer.rearm()
+    """
+
+    __slots__ = ("sim", "interval", "callback", "daemon", "running", "event")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[[], None], daemon: bool = True):
+        if interval <= 0:
+            raise ValueError("timer interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.daemon = daemon
+        self.running = False
+        #: The pending tick (None while stopped or mid-callback).
+        self.event: Optional[Event] = None
+
+    def start(self) -> None:
+        """Arm the first tick; idempotent while already running."""
+        if self.running:
+            return
+        self.running = True
+        self.event = self.sim.schedule(self.interval, self.callback,
+                                       daemon=self.daemon)
+
+    def stop(self) -> None:
+        """Disarm: cancel the pending tick (if any) and stop re-arming."""
+        self.running = False
+        if self.event is not None:
+            self.event.cancel()
+            self.event = None
+
+    def rearm(self, interval: Optional[float] = None) -> None:
+        """Schedule the next tick — called by the callback at the end of
+        each tick; a no-op once stop() ran (the chain dies cleanly)."""
+        if not self.running:
+            return
+        self.event = self.sim.schedule(
+            self.interval if interval is None else interval,
+            self.callback, daemon=self.daemon,
+        )
 
 
 class Process:

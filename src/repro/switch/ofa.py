@@ -50,6 +50,8 @@ from repro.openflow.messages import (
     Message,
     PacketIn,
     PacketOut,
+    RoleMod,
+    RoleStatus,
 )
 from repro.sim.ratelimit import RateLimitedServer
 from repro.switch.flow_table import FlowEntry, TableFullError
@@ -107,6 +109,12 @@ class OpenFlowAgent:
         #: OFA CPU stops answering echoes without dropping the channel.
         self._stalled_until = 0.0
         self.stall_deferred = 0
+        #: Controller-pool role state (docs/cluster.md).  None until the
+        #: first RoleMod lands; single-controller deployments never send
+        #: one, so these stay inert.
+        self.master_id = None
+        self.role_generation = 0
+        self.stale_role_mods = 0
 
         self._obs = sim.obs
         metrics = sim.obs.metrics
@@ -208,6 +216,8 @@ class OpenFlowAgent:
                 self.channel.send_to_controller,
                 BarrierReply(request_xid=message.xid, datapath_id=self.switch.name),
             )
+        elif isinstance(message, RoleMod):
+            self.sim.schedule(_CHEAP_MESSAGE_DELAY, self._handle_role_mod, message)
         else:
             raise TypeError(f"OFA cannot handle {type(message).__name__}")
 
@@ -310,6 +320,28 @@ class OpenFlowAgent:
             groups.add(entry)
         else:
             groups.modify(entry)
+
+    def _handle_role_mod(self, message: RoleMod) -> None:
+        # OpenFlow generation_id fencing: only strictly newer
+        # generations apply, so a delayed RoleMod from a deposed pool
+        # leader cannot roll the mastership back.
+        if message.generation <= self.role_generation and self.master_id is not None:
+            self.stale_role_mods += 1
+            self.channel.send_to_controller(ErrorMessage(
+                datapath_id=self.switch.name,
+                error_type="role_request_failed",
+                code="role_stale",
+                failed_xid=message.xid,
+            ))
+            return
+        self.role_generation = message.generation
+        self.master_id = message.master_id
+        self.channel.send_to_controller(RoleStatus(
+            request_xid=message.xid,
+            datapath_id=self.switch.name,
+            master_id=message.master_id,
+            generation=message.generation,
+        ))
 
     def _handle_packet_out(self, message: PacketOut) -> None:
         if message.packet is None:

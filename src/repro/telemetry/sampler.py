@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.openflow.messages import SampleRecord, SampleReport
+from repro.sim.process import PeriodicTimer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.flow import FlowKey
@@ -63,8 +64,17 @@ class PacketSampler:
         self.packets_seen = 0
         self.samples_taken = 0
         self.reports_sent = 0
-        self._running = False
-        self._flush_event = None
+        # Restart-safe export chain (sim.process.PeriodicTimer owns the
+        # pending event, so stop()/start() can never double the chain).
+        self._timer = PeriodicTimer(sim, export_interval, self._tick)
+
+    @property
+    def _running(self) -> bool:
+        return self._timer.running
+
+    @property
+    def _flush_event(self):
+        return self._timer.event
 
     # ------------------------------------------------------------------
     # Fast path
@@ -91,27 +101,19 @@ class PacketSampler:
     # Export
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._running:
+        if self._timer.running:
             return
-        self._running = True
         self._window_start = self.sim.now
-        self._flush_event = self.sim.schedule(
-            self.export_interval, self._tick, daemon=True
-        )
+        self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
-        if self._flush_event is not None:
-            self._flush_event.cancel()
-            self._flush_event = None
+        self._timer.stop()
 
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         self.flush()
-        self._flush_event = self.sim.schedule(
-            self.export_interval, self._tick, daemon=True
-        )
+        self._timer.rearm()
 
     def flush(self) -> Optional[SampleReport]:
         """Export accumulated records to the controller.

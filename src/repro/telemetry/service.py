@@ -33,6 +33,7 @@ from repro.controller.stats_service import StatsPoller
 from repro.core.config import VSWITCH_FLOW_TABLE, ScotchConfig
 from repro.core.migration import OVERLAY_COOKIE
 from repro.openflow.messages import FlowStatsEntry, FlowStatsReply, SampleReport
+from repro.sim.process import PeriodicTimer
 from repro.switch.match import Match
 from repro.telemetry.estimator import FlowEstimator
 from repro.telemetry.sampler import PacketSampler
@@ -93,31 +94,39 @@ class SamplingStatsService:
         #: estimator-starvation alert inert.
         self._staleness_gauges: Dict[str, object] = {}
         self._last_ingest: Dict[str, float] = {}
-        self._running = False
-        self._tick_event = None
+        # Restart-safe housekeeping tick (sample/hybrid only; the timer
+        # owns the pending event so stop()/start() can't double chains).
+        self._timer = PeriodicTimer(
+            controller.sim, self.config.sample_export_interval, self._tick
+        )
+        self._started = False
+
+    @property
+    def _running(self) -> bool:
+        return self._started
+
+    @property
+    def _tick_event(self):
+        return self._timer.event
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        if self._running:
+        if self._started:
             return
-        self._running = True
+        self._started = True
         if self.poller is not None:
             self.poller.start()
         if self.sampling:
             self._ensure_samplers()
-            self._tick_event = self.controller.sim.schedule(
-                self.config.sample_export_interval, self._tick, daemon=True
-            )
+            self._timer.start()
 
     def stop(self) -> None:
-        self._running = False
+        self._started = False
         if self.poller is not None:
             self.poller.stop()
-        if self._tick_event is not None:
-            self._tick_event.cancel()
-            self._tick_event = None
+        self._timer.stop()
         for dpid, sampler in self.samplers.items():
             sampler.stop()
             if dpid in self.network:
@@ -199,13 +208,11 @@ class SamplingStatsService:
     # Housekeeping tick (daemon; sample/hybrid only)
     # ------------------------------------------------------------------
     def _tick(self) -> None:
-        if not self._running:
+        if not self._timer.running:
             return
         now = self.controller.sim.now
         self._ensure_samplers()
         for dpid, gauge in self._staleness_gauges.items():
             gauge.set(now - self._last_ingest.get(dpid, now))
         self.estimator.prune(now - 2 * self.config.flow_idle_timeout)
-        self._tick_event = self.controller.sim.schedule(
-            self.config.sample_export_interval, self._tick, daemon=True
-        )
+        self._timer.rearm()

@@ -92,6 +92,47 @@ def test_recovery_restores_original_assignment():
     assert victim.name in [b.label for b in group.buckets]
 
 
+def test_resync_supersedes_stale_inflight_group_refresh():
+    """Regression: a standby resync racing an in-flight group refresh.
+
+    A failover GroupMod keyed ``("group", edge)`` can still be retrying
+    (barrier ack lost) when a resync pushes fresh state under the
+    *activation* key.  Keyed supersession cannot retire the stale batch
+    — different key — so before the fix its next retry landed after the
+    fresh push and resurrected the superseded bucket set.  Resync must
+    cancel the whole in-flight keyed set first (supersede_all)."""
+    dep = build(heartbeat_interval=0.25, miss_limit=2)
+    flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=2000.0)
+    flood.start(at=0.5, stop_at=20.0)
+    dep.sim.run(until=4.0)
+    edge, victim = dep.edge, dep.mesh_vswitches[0]
+    assert edge.datapath.groups.get(1) is not None  # overlay active
+
+    # Ack path dark + victim dead: the failover refresh (buckets without
+    # the victim) goes in flight and stays there, retrying.
+    edge.channel.disconnect()
+    victim.fail()
+    dep.sim.run(until=6.0)
+    reliable = dep.scotch.reliable
+    assert ("group", edge.name) in reliable._by_key
+
+    # Recovery lands through a path that does NOT re-key the group batch
+    # (the racing interleaving), then the standby takes over: reconnect
+    # and resync in the same instant.
+    victim.recover()
+    dep.scotch.overlay.dead.discard(victim.name)
+    edge.channel.reconnect()
+    dep.scotch.resync()
+    dep.sim.run(until=12.0)
+
+    # The resync push (victim back in the buckets) must be final state;
+    # the stale batch's retry must not have resurrected the victimless
+    # bucket set on top of it.
+    group = edge.datapath.groups.get(1)
+    assert victim.name in [b.label for b in group.buckets]
+    assert ("group", edge.name) not in reliable._by_key
+
+
 def test_no_backup_degrades_to_remaining_vswitches():
     dep = build(backups=0)
     flood = SpoofedFlood(dep.sim, dep.attacker, dep.servers[0].ip, rate_fps=1500.0)

@@ -177,3 +177,145 @@ def test_unknown_datapath_is_a_noop():
     sim.run(until=1.0)
     assert sender.pending() == 0
     assert sender.acked == 0
+
+
+# ----------------------------------------------------------------------
+# stop()/start() and explicit supersession (pool handoff + resync race)
+# ----------------------------------------------------------------------
+def test_stop_freezes_retries_start_resumes_backoff():
+    sim, switch, sender = build(ScotchConfig(
+        reliable_install_timeout=0.1,
+        reliable_install_timeout_cap=0.4,
+        reliable_install_max_retries=10,
+    ))
+    switch.channel.disconnect()
+    sender.send("sw", [_flow_mod()])
+    sim.run(until=0.35)  # attempts: t=0, 0.1, 0.3 -> 3 attempts in
+    attempts_at_stop = sender.retries
+    assert attempts_at_stop > 0
+    sender.stop()
+    sim.run(until=2.0)
+    # Frozen: no retries fire while stopped.
+    assert sender.retries == attempts_at_stop
+    switch.channel.reconnect()
+    sender.start()
+    sim.run(until=4.0)
+    assert sender.acked == 1
+    assert sender.abandoned == 0
+    assert len(switch.datapath.table(0)) == 1
+
+
+def test_stop_start_cycles_under_sustained_loss_converge():
+    sim, switch, sender = build(ScotchConfig(
+        reliable_install_timeout=0.1,
+        reliable_install_timeout_cap=0.4,
+        reliable_install_max_retries=20,
+    ))
+    switch.channel.set_impairments(
+        to_switch=LinkImpairments(loss=0.6),
+        to_controller=LinkImpairments(loss=0.6),
+    )
+    acks = []
+    sender.send("sw", [_flow_mod()], key=("k",),
+                on_ack=lambda: acks.append(sim.now))
+    for t in (0.15, 0.45, 0.8):
+        sim.schedule(t, sender.stop)
+        sim.schedule(t + 0.1, sender.start)
+    sim.run(until=20.0)
+    assert sender.acked == 1 and acks
+    assert sender.abandoned == 0
+    # Idempotent re-install: the table holds exactly one copy no matter
+    # how many replays the stop/start cycles caused.
+    assert len(switch.datapath.table(0)) == 1
+
+
+def test_send_while_stopped_queues_until_start():
+    sim, switch, sender = build()
+    sender.stop()
+    sender.send("sw", [_flow_mod()], key=("a",))
+    sim.run(until=2.0)
+    assert sender.acked == 0
+    assert len(switch.datapath.table(0)) == 0  # nothing transmitted
+    sender.start()
+    sim.run(until=4.0)
+    assert sender.acked == 1
+    assert len(switch.datapath.table(0)) == 1
+
+
+def test_keyed_supersession_applies_across_stop_start():
+    sim, switch, sender = build()
+    delivered = []
+    original = switch.ofa.handle_from_controller
+
+    def spy(message):
+        if isinstance(message, GroupMod):
+            delivered.append(message.buckets[0].label)
+        original(message)
+
+    switch.channel.switch_sink = spy
+
+    def group(label):
+        return GroupMod(group_id=1, group_type="select",
+                        buckets=[Bucket(actions=[Output(1)], label=label)],
+                        command=ADD)
+
+    sender.stop()
+    sender.send("sw", [group("old")], key=("g",))
+    sender.send("sw", [group("new")], key=("g",))
+    sender.start()
+    sim.run(until=5.0)
+    assert sender.superseded == 1
+    assert sender.acked == 1
+    assert delivered == ["new"]
+
+
+def test_supersede_cancels_inflight_batch_without_replacement():
+    sim, switch, sender = build()
+    switch.channel.disconnect()
+    sender.send("sw", [_flow_mod()], key=("k",))
+    assert sender.supersede(("k",)) is True
+    assert sender.supersede(("k",)) is False  # already gone
+    switch.channel.reconnect()
+    sim.run(until=10.0)
+    # Neither acked nor abandoned: the batch was retired.
+    assert sender.acked == 0 and sender.abandoned == 0
+    assert sender.pending() == 0
+    assert len(switch.datapath.table(0)) == 0
+
+
+def test_supersede_all_retires_every_key():
+    sim, switch, sender = build()
+    switch.channel.disconnect()
+    sender.send("sw", [_flow_mod()], key=("a",))
+    sender.send("sw", [_flow_mod()], key=("b",))
+    assert sender.supersede_all() == 2
+    sim.run(until=10.0)
+    assert sender.acked == 0 and sender.abandoned == 0
+    assert sender.pending() == 0
+
+
+def test_start_abandons_batches_with_exhausted_budget():
+    # Timeouts 0.1/0.2/0.4/0.4: the 4th (final) attempt transmits at
+    # t=0.7 with attempts == max_retries + 1.  A stop() inside that
+    # window followed by start() must abandon, not replay — otherwise
+    # the replay would push attempts past the invariant-checked budget.
+    sim, switch, sender = build()
+    switch.channel.disconnect()
+    abandoned = []
+    sender.send("sw", [_flow_mod()],
+                on_abandon=lambda: abandoned.append(sim.now))
+    sim.run(until=0.9)
+    sender.stop()
+    sender.start()
+    assert abandoned and sender.abandoned == 1
+    assert sender.max_attempts_in_flight() == 0
+
+
+def test_restart_replay_is_idempotent_on_the_switch():
+    sim, switch, sender = build()
+    sender.send("sw", [_flow_mod()], key=("k",))
+    sim.run(until=0.05)  # transmitted, barrier still in flight
+    sender.stop()
+    sender.start()       # replays the same batch
+    sim.run(until=2.0)
+    assert len(switch.datapath.table(0)) == 1  # ADD-as-replace, one copy
